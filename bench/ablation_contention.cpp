@@ -1,0 +1,65 @@
+// Contention accounting: the *why* behind Figures 3-6.
+//
+// The paper's §4 attributes the baselines' slowness to "blocking and
+// contention surrounding the synchronization state of synchronous queues".
+// This bench makes that observable: for each algorithm it runs the N:N
+// handoff workload and reports, per transfer, how many kernel blocks
+// (parks) and wakeups (unparks) occurred and how many head/tail/item CASes
+// failed (the coherence-traffic proxy).
+//
+// Expected: Hanson blocks at least once per operation by construction; the
+// Java5 baselines park on the entry lock under load (fair mode worst); the
+// new algorithms park at most once per transfer and shed contention into
+// (cheap) CAS retries.
+#include "bench_common.hpp"
+#include "support/diagnostics.hpp"
+
+using namespace ssq;
+using namespace ssq::bench;
+
+namespace {
+
+struct accounting {
+  double parks_per_transfer;
+  double unparks_per_transfer;
+  double cas_fails_per_transfer;
+};
+
+template <typename Q>
+accounting account(int pairs, const sweep_config &cfg) {
+  Q q;
+  auto before = diag::snapshot::take();
+  auto res = harness::run_handoff(q, pairs, pairs, cfg.ops);
+  if (!res.checksum_ok) std::exit(1);
+  auto d = diag::snapshot::take() - before;
+  double n = static_cast<double>(cfg.ops);
+  return {static_cast<double>(d[diag::id::park]) / n,
+          static_cast<double>(d[diag::id::unpark]) / n,
+          static_cast<double>(d[diag::id::cas_fail]) / n};
+}
+
+std::string fmt3(const accounting &a) {
+  return harness::table::fmt(a.parks_per_transfer, 2) + "/" +
+         harness::table::fmt(a.unparks_per_transfer, 2) + "/" +
+         harness::table::fmt(a.cas_fails_per_transfer, 2);
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  auto cfg = parse_sweep(argc, argv, {1, 2, 4}, "ablation_contention.csv");
+
+  std::printf("cell format: parks/unparks/failed-CASes per transfer\n");
+  harness::table t({"pairs", "SynchronousQueue", "SynchronousQueue(fair)",
+                    "HansonSQ", "NewSynchQueue", "NewSynchQueue(fair)"});
+  for (int n : cfg.levels) {
+    t.add_row({std::to_string(n), fmt3(account<java5_unfair_t>(n, cfg)),
+               fmt3(account<java5_fair_t>(n, cfg)),
+               fmt3(account<hanson_t>(n, cfg)),
+               fmt3(account<new_unfair_t>(n, cfg)),
+               fmt3(account<new_fair_t>(n, cfg))});
+    std::fflush(stdout);
+  }
+  emit(t, cfg.csv, "Contention accounting per transfer (N:N handoff)");
+  return 0;
+}

@@ -1,0 +1,47 @@
+// Ablation C: elimination arena on/off (paper §5).
+//
+// "In preliminary work, we have found elimination to be beneficial only in
+// cases of artificially extreme contention." Expect the arena variant to
+// trail at low concurrency (every operation pays an arena detour with
+// bounded patience) and to close the gap -- possibly win on big multicores
+// -- as contention on the stack head grows.
+#include "bench_common.hpp"
+#include "core/eliminating_sq.hpp"
+
+using namespace ssq;
+using namespace ssq::bench;
+
+namespace {
+
+double measure_elim(int pairs, nanoseconds patience, const sweep_config &cfg) {
+  std::vector<double> samples;
+  for (int r = 0; r < cfg.reps; ++r) {
+    eliminating_sq<payload> q(patience);
+    auto res = harness::run_handoff(q, pairs, pairs, cfg.ops);
+    if (!res.checksum_ok) std::exit(1);
+    samples.push_back(res.ns_per_transfer);
+  }
+  return harness::summarize(samples).median;
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  auto cfg = parse_sweep(argc, argv, {1, 2, 4, 8}, "ablation_elimination.csv");
+
+  harness::table t({"pairs", "plain-unfair", "arena-5us", "arena-50us"});
+  for (int n : cfg.levels) {
+    t.add_row(
+        {std::to_string(n),
+         harness::table::fmt(measure<new_unfair_t>(n, n, cfg)),
+         harness::table::fmt(
+             measure_elim(n, std::chrono::microseconds(5), cfg)),
+         harness::table::fmt(
+             measure_elim(n, std::chrono::microseconds(50), cfg))});
+    std::fflush(stdout);
+  }
+  emit(t, cfg.csv,
+       "Ablation C: elimination-arena front end on the unfair queue, "
+       "ns/transfer");
+  return 0;
+}

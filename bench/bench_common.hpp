@@ -1,0 +1,91 @@
+// Shared scaffolding for the figure-reproduction benches.
+//
+// Each figure binary sweeps concurrency levels and prints one row per level
+// with one ns/transfer column per algorithm -- the same series the paper
+// plots. Results are also written as CSV (<bench>.csv in the working
+// directory) for plotting.
+//
+// Flags (all optional):
+//   --levels=1,2,4,...   concurrency sweep
+//   --ops=N              transfers per cell   (default 8000)
+//   --reps=N             repetitions per cell (default 2; median reported)
+//   --csv=path           CSV output path
+//   --quick              tiny run for smoke-testing (CI)
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "baselines/hanson_sq.hpp"
+#include "baselines/java5_sq.hpp"
+#include "core/synchronous_queue.hpp"
+#include "harness/options.hpp"
+#include "harness/runner.hpp"
+#include "harness/stats.hpp"
+#include "harness/table.hpp"
+
+namespace ssq::bench {
+
+using payload = std::uint32_t; // inline-encoded: no boxing in the hot loop
+
+// The five contenders of Figures 3-5, under the paper's names.
+using java5_unfair_t = java5_sq<payload, false>; // "SynchronousQueue"
+using java5_fair_t = java5_sq<payload, true>;    // "SynchronousQueue (fair)"
+using hanson_t = hanson_sq<payload>;             // "HansonSQ"
+using new_unfair_t = synchronous_queue<payload, false>; // "New SynchQueue"
+using new_fair_t = synchronous_queue<payload, true>; // "New SynchQueue (fair)"
+
+struct sweep_config {
+  std::vector<int> levels;
+  std::uint64_t ops = 8000;
+  int reps = 2;
+  std::string csv;
+};
+
+inline sweep_config parse_sweep(int argc, char **argv,
+                                std::vector<int> default_levels,
+                                const char *default_csv,
+                                std::uint64_t default_ops = 8000) {
+  auto opt = harness::options::parse(argc, argv);
+  sweep_config cfg;
+  cfg.levels = opt.get_int_list("levels", std::move(default_levels));
+  cfg.ops = static_cast<std::uint64_t>(
+      opt.get_int("ops", static_cast<std::int64_t>(default_ops)));
+  cfg.reps = static_cast<int>(opt.get_int("reps", 2));
+  cfg.csv = opt.get("csv", default_csv);
+  if (opt.has("quick")) {
+    cfg.levels.resize(cfg.levels.size() > 3 ? 3 : cfg.levels.size());
+    cfg.ops = 1000;
+    cfg.reps = 1;
+  }
+  return cfg;
+}
+
+// Median ns/transfer over `reps` runs of a (nprod, ncons) handoff workload
+// on a fresh instance of Q per rep.
+template <typename Q>
+double measure(int nprod, int ncons, const sweep_config &cfg) {
+  std::vector<double> samples;
+  samples.reserve(static_cast<std::size_t>(cfg.reps));
+  for (int r = 0; r < cfg.reps; ++r) {
+    Q q;
+    auto res = harness::run_handoff(q, nprod, ncons, cfg.ops);
+    if (!res.checksum_ok) {
+      std::fprintf(stderr, "CHECKSUM FAILURE (np=%d nc=%d)\n", nprod, ncons);
+      std::exit(1);
+    }
+    samples.push_back(res.ns_per_transfer);
+  }
+  return harness::summarize(samples).median;
+}
+
+inline void emit(const harness::table &t, const std::string &csv_path,
+                 const char *title) {
+  std::printf("\n%s\n", title);
+  t.print();
+  if (!csv_path.empty() && t.write_csv(csv_path))
+    std::printf("(csv written to %s)\n", csv_path.c_str());
+}
+
+} // namespace ssq::bench

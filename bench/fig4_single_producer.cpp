@@ -1,0 +1,28 @@
+// Figure 4: synchronous handoff, 1 producer : N consumers.
+//
+// Paper result (§4): Hanson's mandatory per-operation blocking is
+// accentuated when a singleton serves many counterparts.
+#include "bench_common.hpp"
+
+using namespace ssq;
+using namespace ssq::bench;
+
+int main(int argc, char **argv) {
+  auto cfg = parse_sweep(argc, argv, {1, 2, 3, 5, 8, 12, 18, 27},
+                         "fig4_single_producer.csv");
+
+  harness::table t({"consumers", "SynchronousQueue", "SynchronousQueue(fair)",
+                    "HansonSQ", "NewSynchQueue", "NewSynchQueue(fair)"});
+  for (int n : cfg.levels) {
+    t.add_row({std::to_string(n),
+               harness::table::fmt(measure<java5_unfair_t>(1, n, cfg)),
+               harness::table::fmt(measure<java5_fair_t>(1, n, cfg)),
+               harness::table::fmt(measure<hanson_t>(1, n, cfg)),
+               harness::table::fmt(measure<new_unfair_t>(1, n, cfg)),
+               harness::table::fmt(measure<new_fair_t>(1, n, cfg))});
+    std::fflush(stdout);
+  }
+  emit(t, cfg.csv,
+       "Figure 4: single producer, N consumers, ns/transfer");
+  return 0;
+}

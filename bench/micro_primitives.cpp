@@ -1,0 +1,181 @@
+// google-benchmark micro-benchmarks for the substrate primitives: the
+// costs the paper's cost model is built from (CAS, semaphore ops, lock
+// acquire/release, codec encode/decode, hazard publication, non-blocking
+// queue ops).
+#include <benchmark/benchmark.h>
+
+#include <atomic>
+#include <mutex>
+#include <string>
+
+#include "baselines/java5_sq.hpp"
+#include "core/linked_transfer_queue.hpp"
+#include "core/synchronous_queue.hpp"
+#include "memory/hazard.hpp"
+#include "substrate/eb_stack.hpp"
+#include "substrate/ms_queue.hpp"
+#include "substrate/treiber_stack.hpp"
+#include "support/codec.hpp"
+#include "sync/fair_lock.hpp"
+#include "sync/queue_locks.hpp"
+#include "sync/semaphore.hpp"
+
+using namespace ssq;
+
+static void BM_AtomicCas(benchmark::State &state) {
+  std::atomic<std::uint64_t> w{0};
+  std::uint64_t v = 0;
+  for (auto _ : state) {
+    w.compare_exchange_strong(v, v + 1, std::memory_order_seq_cst);
+    benchmark::DoNotOptimize(v);
+  }
+}
+BENCHMARK(BM_AtomicCas);
+
+static void BM_SeqCstStore(benchmark::State &state) {
+  std::atomic<std::uint64_t> w{0};
+  std::uint64_t i = 0;
+  for (auto _ : state) w.store(++i, std::memory_order_seq_cst);
+}
+BENCHMARK(BM_SeqCstStore);
+
+static void BM_SemaphoreReleaseAcquire(benchmark::State &state) {
+  sync::counting_semaphore s(0);
+  for (auto _ : state) {
+    s.release();
+    s.acquire();
+  }
+}
+BENCHMARK(BM_SemaphoreReleaseAcquire);
+
+static void BM_StdMutexLockUnlock(benchmark::State &state) {
+  std::mutex m;
+  for (auto _ : state) {
+    m.lock();
+    m.unlock();
+  }
+}
+BENCHMARK(BM_StdMutexLockUnlock);
+
+static void BM_FairLockLockUnlock(benchmark::State &state) {
+  sync::fair_lock m;
+  for (auto _ : state) {
+    m.lock();
+    m.unlock();
+  }
+}
+BENCHMARK(BM_FairLockLockUnlock);
+
+static void BM_McsLockLockUnlock(benchmark::State &state) {
+  sync::mcs_lock m;
+  sync::mcs_lock::node n;
+  for (auto _ : state) {
+    m.lock(n);
+    m.unlock(n);
+  }
+}
+BENCHMARK(BM_McsLockLockUnlock);
+
+static void BM_ClhLockLockUnlock(benchmark::State &state) {
+  sync::clh_lock m;
+  sync::clh_lock::handle h;
+  for (auto _ : state) {
+    m.lock(h);
+    m.unlock(h);
+  }
+}
+BENCHMARK(BM_ClhLockLockUnlock);
+
+static void BM_EbStackPushPop(benchmark::State &state) {
+  elimination_backoff_stack<std::uint64_t> s;
+  for (auto _ : state) {
+    s.push(1);
+    benchmark::DoNotOptimize(s.pop());
+  }
+}
+BENCHMARK(BM_EbStackPushPop);
+
+static void BM_CodecInlineRoundTrip(benchmark::State &state) {
+  std::uint32_t v = 12345;
+  for (auto _ : state) {
+    item_token t = item_codec<std::uint32_t>::encode(v);
+    benchmark::DoNotOptimize(item_codec<std::uint32_t>::decode_consume(t));
+  }
+}
+BENCHMARK(BM_CodecInlineRoundTrip);
+
+static void BM_CodecBoxedRoundTrip(benchmark::State &state) {
+  for (auto _ : state) {
+    item_token t = item_codec<std::uint64_t>::encode(0x123456789ABCDEFULL);
+    benchmark::DoNotOptimize(item_codec<std::uint64_t>::decode_consume(t));
+  }
+}
+BENCHMARK(BM_CodecBoxedRoundTrip);
+
+static void BM_HazardProtect(benchmark::State &state) {
+  static std::atomic<int *> cell{new int(7)};
+  for (auto _ : state) {
+    mem::hazard_domain::hazard hz;
+    benchmark::DoNotOptimize(hz.protect(cell));
+  }
+}
+BENCHMARK(BM_HazardProtect);
+
+static void BM_TreiberPushPop(benchmark::State &state) {
+  treiber_stack<std::uint64_t> s;
+  for (auto _ : state) {
+    s.push(1);
+    benchmark::DoNotOptimize(s.pop());
+  }
+}
+BENCHMARK(BM_TreiberPushPop);
+
+static void BM_MsQueueEnqDeq(benchmark::State &state) {
+  ms_queue<std::uint64_t> q;
+  for (auto _ : state) {
+    q.enqueue(1);
+    benchmark::DoNotOptimize(q.dequeue());
+  }
+}
+BENCHMARK(BM_MsQueueEnqDeq);
+
+// Failed non-blocking ops on an empty queue: the cheap-miss path an executor
+// relies on when deciding whether to spawn.
+static void BM_NewUnfairOfferMiss(benchmark::State &state) {
+  synchronous_queue<std::uint32_t, false> q;
+  for (auto _ : state) benchmark::DoNotOptimize(q.offer(1));
+}
+BENCHMARK(BM_NewUnfairOfferMiss);
+
+static void BM_NewFairOfferMiss(benchmark::State &state) {
+  synchronous_queue<std::uint32_t, true> q;
+  for (auto _ : state) benchmark::DoNotOptimize(q.offer(1));
+}
+BENCHMARK(BM_NewFairOfferMiss);
+
+static void BM_Java5OfferMiss(benchmark::State &state) {
+  java5_sq<std::uint32_t, false> q;
+  for (auto _ : state) benchmark::DoNotOptimize(q.offer(1));
+}
+BENCHMARK(BM_Java5OfferMiss);
+
+static void BM_NewUnfairPollMiss(benchmark::State &state) {
+  synchronous_queue<std::uint32_t, false> q;
+  for (auto _ : state) benchmark::DoNotOptimize(q.poll().has_value());
+}
+BENCHMARK(BM_NewUnfairPollMiss);
+
+// Same-thread rendezvous: producer hands to itself through the async path
+// (measures node alloc + CAS + claim without scheduling noise).
+static void BM_NewFairAsyncPutPoll(benchmark::State &state) {
+  linked_transfer_queue<std::uint32_t> *q = nullptr;
+  q = new linked_transfer_queue<std::uint32_t>();
+  for (auto _ : state) {
+    q->put(1);
+    benchmark::DoNotOptimize(q->poll().has_value());
+  }
+  delete q;
+}
+BENCHMARK(BM_NewFairAsyncPutPoll);
+
+BENCHMARK_MAIN();

@@ -1,0 +1,112 @@
+// Duration-based throughput sweep: transfers/second over a fixed wall-clock
+// window, for every timed-capable implementation.
+//
+// Complements the figure benches (fixed operation count, median of reps):
+// a duration-based method is insensitive to straggler threads and lets the
+// slow baselines be compared at identical wall-clock cost. Hanson's queue
+// is absent by necessity (no timed operations -- paper §3.3).
+#include <atomic>
+#include <barrier>
+#include <thread>
+
+#include "baselines/naive_sq.hpp"
+#include "bench_common.hpp"
+#include "core/eliminating_sq.hpp"
+
+using namespace ssq;
+using namespace ssq::bench;
+
+namespace {
+
+struct tp_result {
+  double transfers_per_sec;
+  bool checksum_ok;
+};
+
+template <typename Q>
+tp_result run_throughput(int pairs, nanoseconds window) {
+  Q q;
+  std::atomic<bool> stop{false};
+  std::atomic<std::uint64_t> in_sum{0}, out_sum{0}, count{0};
+  std::barrier gate(2 * pairs + 1);
+
+  std::vector<std::thread> ts;
+  for (int p = 0; p < pairs; ++p) {
+    ts.emplace_back([&, p] {
+      gate.arrive_and_wait();
+      std::uint64_t v = static_cast<std::uint64_t>(p) << 32;
+      while (!stop.load(std::memory_order_acquire)) {
+        ++v;
+        if (q.offer(static_cast<payload>(v),
+                    deadline::in(std::chrono::milliseconds(1))))
+          in_sum.fetch_add(static_cast<payload>(v),
+                           std::memory_order_relaxed);
+      }
+    });
+  }
+  for (int c = 0; c < pairs; ++c) {
+    ts.emplace_back([&] {
+      gate.arrive_and_wait();
+      for (;;) {
+        auto v = q.poll(deadline::in(std::chrono::milliseconds(1)));
+        if (v) {
+          out_sum.fetch_add(*v, std::memory_order_relaxed);
+          count.fetch_add(1, std::memory_order_relaxed);
+        }
+        if (stop.load(std::memory_order_acquire) && !v) break;
+      }
+    });
+  }
+  gate.arrive_and_wait();
+  auto t0 = steady_clock::now();
+  std::this_thread::sleep_for(window);
+  stop.store(true, std::memory_order_release);
+  for (auto &t : ts) t.join();
+  double secs = std::chrono::duration<double>(steady_clock::now() - t0).count();
+
+  tp_result r;
+  r.transfers_per_sec = static_cast<double>(count.load()) / secs;
+  r.checksum_ok = in_sum.load() == out_sum.load();
+  if (!r.checksum_ok) {
+    std::fprintf(stderr, "THROUGHPUT CHECKSUM FAILURE\n");
+    std::exit(1);
+  }
+  return r;
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  auto opt = harness::options::parse(argc, argv);
+  auto levels = opt.get_int_list("levels", {1, 2, 4});
+  auto window = std::chrono::milliseconds(
+      opt.get_int("window_ms", opt.has("quick") ? 50 : 250));
+  std::string csv = opt.get("csv", "throughput_sweep.csv");
+
+  harness::table t({"pairs", "SynchronousQueue", "SynchronousQueue(fair)",
+                    "NewSynchQueue", "NewSynchQueue(fair)", "Eliminating",
+                    "NaiveSQ"});
+  for (int n : levels) {
+    t.add_row(
+        {std::to_string(n),
+         harness::table::fmt(
+             run_throughput<java5_unfair_t>(n, window).transfers_per_sec, 0),
+         harness::table::fmt(
+             run_throughput<java5_fair_t>(n, window).transfers_per_sec, 0),
+         harness::table::fmt(
+             run_throughput<new_unfair_t>(n, window).transfers_per_sec, 0),
+         harness::table::fmt(
+             run_throughput<new_fair_t>(n, window).transfers_per_sec, 0),
+         harness::table::fmt(
+             run_throughput<eliminating_sq<payload>>(n, window)
+                 .transfers_per_sec,
+             0),
+         harness::table::fmt(
+             run_throughput<naive_sq<payload>>(n, window).transfers_per_sec,
+             0)});
+    std::fflush(stdout);
+  }
+  emit(t, csv, "Throughput sweep: successful transfers per second "
+               "(duration-based method)");
+  return 0;
+}

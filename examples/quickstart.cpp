@@ -1,0 +1,59 @@
+// Quickstart: the 60-second tour of ssq::synchronous_queue.
+//
+//   $ ./quickstart
+//
+// A synchronous queue has no buffer: put() waits for a take() and vice
+// versa -- threads "shake hands and leave in pairs" (paper §1).
+#include <cstdio>
+#include <optional>
+#include <string>
+#include <thread>
+
+#include "core/synchronous_queue.hpp"
+
+int main() {
+  // Unfair (stack-based) mode: best throughput, LIFO pairing.
+  ssq::synchronous_queue<std::string> queue;
+
+  // 1. Basic handoff: the producer blocks until the consumer takes.
+  std::thread consumer([&] {
+    std::string msg = queue.take(); // blocks until a producer arrives
+    std::printf("consumer received: %s\n", msg.c_str());
+  });
+  queue.put("hello, rendezvous"); // blocks until the consumer takes
+  consumer.join();
+
+  // 2. offer/poll never wait: they succeed only when a counterpart is
+  //    *already* blocked on the other side.
+  if (!queue.offer("nobody is listening"))
+    std::printf("offer refused: no waiting consumer\n");
+  if (!queue.poll().has_value())
+    std::printf("poll refused: no waiting producer\n");
+
+  // 3. Timed variants bound the wait ("patience" in the paper's terms).
+  if (!queue.try_put("anyone there?", std::chrono::milliseconds(50)))
+    std::printf("try_put timed out after 50ms\n");
+
+  std::thread late_producer([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    queue.put("worth the wait");
+  });
+  if (auto v = queue.try_take(std::chrono::seconds(5)))
+    std::printf("timed take got: %s\n", v->c_str());
+  late_producer.join();
+
+  // 4. Fair mode guarantees FIFO pairing: the longest-waiting consumer is
+  //    served first.
+  ssq::fair_synchronous_queue<int> fair;
+  std::thread c1([&] { std::printf("first waiter got %d\n", fair.take()); });
+  while (fair.is_empty()) std::this_thread::yield(); // c1 is now queued
+  std::thread c2([&] { std::printf("second waiter got %d\n", fair.take()); });
+  while (fair.unsafe_length() < 2) std::this_thread::yield();
+  fair.put(1); // goes to c1 -- strict FIFO
+  fair.put(2); // goes to c2
+  c1.join();
+  c2.join();
+
+  std::printf("quickstart done\n");
+  return 0;
+}

@@ -1,0 +1,90 @@
+// timeout_patterns: the capabilities the paper's §1 says real applications
+// demand beyond put/take -- poll, offer, patience intervals, and
+// interruption -- shown as small recipes.
+#include <atomic>
+#include <cstdio>
+#include <optional>
+#include <string>
+#include <thread>
+
+#include "core/linked_transfer_queue.hpp"
+#include "core/synchronous_queue.hpp"
+
+using namespace ssq;
+
+int main() {
+  synchronous_queue<std::string, false> q;
+
+  // Recipe 1: "deliver if a worker is free, otherwise do it myself" --
+  // the offer() pattern ThreadPoolExecutor uses to decide whether to spawn.
+  {
+    if (!q.offer("job-1")) {
+      std::printf("[offer] no idle worker; caller handles job-1 itself\n");
+    }
+  }
+
+  // Recipe 2: bounded-patience producer. The failed try_put returns with
+  // the value conceptually back in hand (try_put_ref makes that literal).
+  {
+    std::string job = "job-2";
+    if (!q.try_put_ref(job, deadline::in(std::chrono::milliseconds(40)))) {
+      std::printf("[try_put] no consumer within 40ms; job returned: %s\n",
+                  job.c_str());
+    }
+  }
+
+  // Recipe 3: keep-alive consumer loop -- a worker that retires itself
+  // after an idle period (the executor's worker loop in miniature).
+  {
+    std::thread producer([&] {
+      std::this_thread::sleep_for(std::chrono::milliseconds(10));
+      q.put("work#1");
+      std::this_thread::sleep_for(std::chrono::milliseconds(10));
+      q.put("work#2");
+      // then goes silent: the worker must time out and retire
+    });
+    int handled = 0;
+    for (;;) {
+      auto work = q.try_take(std::chrono::milliseconds(100));
+      if (!work) break; // keep-alive expired
+      std::printf("[keep-alive] handled %s\n", work->c_str());
+      ++handled;
+    }
+    std::printf("[keep-alive] idle too long; worker retires after %d jobs\n",
+                handled);
+    producer.join();
+  }
+
+  // Recipe 4: interruptible wait -- shutdown without poison pills.
+  {
+    sync::interrupt_token shutdown;
+    std::thread worker([&] {
+      for (;;) {
+        auto work = q.try_take(deadline::unbounded(), &shutdown);
+        if (!work) {
+          std::printf("[interrupt] worker observed shutdown\n");
+          return;
+        }
+      }
+    });
+    std::this_thread::sleep_for(std::chrono::milliseconds(30));
+    shutdown.interrupt();
+    worker.join();
+  }
+
+  // Recipe 5: TransferQueue -- choose per message whether to wait.
+  {
+    linked_transfer_queue<std::string> mailbox;
+    mailbox.put("async: fire and forget"); // buffered, returns at once
+    std::thread reader([&] {
+      std::printf("[ltq] got: %s\n", mailbox.take().c_str());
+      std::printf("[ltq] got: %s\n", mailbox.take().c_str());
+    });
+    mailbox.transfer("sync: wait until read"); // blocks until taken
+    std::printf("[ltq] synchronous message was consumed\n");
+    reader.join();
+  }
+
+  std::printf("timeout patterns done\n");
+  return 0;
+}

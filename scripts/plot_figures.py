@@ -1,0 +1,74 @@
+#!/usr/bin/env python3
+"""Plot the figure-bench CSVs in the paper's visual layout.
+
+Usage:
+    scripts/run_figures.sh build          # produces bench_results/*.csv
+    python3 scripts/plot_figures.py bench_results/ [out-dir]
+
+Requires matplotlib; degrades to a message if unavailable.
+"""
+import csv
+import pathlib
+import sys
+
+
+def load(path):
+    with open(path, newline="") as f:
+        rows = list(csv.reader(f))
+    header, data = rows[0], rows[1:]
+    xs = [int(r[0]) for r in data]
+    series = {
+        header[c]: [float(r[c]) for r in data] for c in range(1, len(header))
+    }
+    return header[0], xs, series
+
+
+def main():
+    try:
+        import matplotlib
+
+        matplotlib.use("Agg")
+        import matplotlib.pyplot as plt
+    except ImportError:
+        print("matplotlib not available; CSVs are ready for any plotter.")
+        return 0
+
+    src = pathlib.Path(sys.argv[1] if len(sys.argv) > 1 else "bench_results")
+    out = pathlib.Path(sys.argv[2] if len(sys.argv) > 2 else src)
+    out.mkdir(parents=True, exist_ok=True)
+
+    titles = {
+        "fig3_prodcons": "Producer-consumer (N : N), ns/transfer",
+        "fig4_single_producer": "Single producer (1 : N), ns/transfer",
+        "fig5_single_consumer": "Single consumer (N : 1), ns/transfer",
+        "fig6_executor": "CachedThreadPool, ns/task",
+        "ablation_spin": "Waiting policy ablation, ns/transfer",
+        "ablation_reclaim": "Reclamation ablation, ns/transfer",
+        "ablation_elimination": "Elimination ablation, ns/transfer",
+        "throughput_sweep": "Throughput (transfers/sec)",
+    }
+
+    made = 0
+    for csv_path in sorted(src.glob("*.csv")):
+        name = csv_path.stem
+        xlabel, xs, series = load(csv_path)
+        fig, ax = plt.subplots(figsize=(6, 4))
+        for label, ys in series.items():
+            ax.plot(xs, ys, marker="o", label=label)
+        ax.set_xlabel(xlabel)
+        ax.set_ylabel("ns" if "ns" in titles.get(name, "ns") else "value")
+        ax.set_title(titles.get(name, name))
+        ax.legend(fontsize=7)
+        ax.grid(True, alpha=0.3)
+        fig.tight_layout()
+        fig.savefig(out / f"{name}.png", dpi=130)
+        plt.close(fig)
+        made += 1
+        print(f"wrote {out / (name + '.png')}")
+    if not made:
+        print(f"no CSVs found under {src}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,52 @@
+// Hanson's synchronous queue (paper Listing 1; Hanson, "C Interfaces and
+// Implementations", 1997).
+//
+// Three semaphores choreograph each transfer: `send` admits one producer at a
+// time, `recv` tells a consumer an item is valid, and `sync` tells the
+// producer its item was taken. The cost structure the paper measures --
+// three synchronization events per transfer *per side*, with at least one
+// mandatory block per operation -- falls directly out of this choreography.
+//
+// As the paper notes (§3.2 "Hanson's synchronous queue offers no simple way
+// to do this"), the algorithm does not admit timeout: a producer that gave
+// up after `send.acquire()` would strand the queue's internal state. We
+// therefore expose only the total, blocking operations.
+#pragma once
+
+#include <optional>
+#include <utility>
+
+#include "sync/semaphore.hpp"
+
+namespace ssq {
+
+template <typename T>
+class hanson_sq {
+ public:
+  static constexpr bool supports_timed = false;
+  static constexpr bool is_fair = false; // semaphore wake order is arbitrary
+
+  void put(T x) {
+    send_.acquire();             // wait for the slot
+    item_.emplace(std::move(x)); // publish
+    recv_.release();             // let one consumer in
+    sync_.acquire();             // wait until the item is taken
+  }
+
+  T take() {
+    recv_.acquire(); // wait for a valid item
+    T x = std::move(*item_);
+    item_.reset();
+    sync_.release(); // release the producer
+    send_.release(); // open the slot for the next producer
+    return x;
+  }
+
+ private:
+  std::optional<T> item_;
+  sync::counting_semaphore sync_{0}; // item has been taken
+  sync::counting_semaphore send_{1}; // 1 minus pending puts
+  sync::counting_semaphore recv_{0}; // 0 minus pending takes
+};
+
+} // namespace ssq

@@ -1,0 +1,74 @@
+// The naive monitor-based synchronous queue (paper Listing 3).
+//
+// One monitor serializes access to a single item slot and a `putting` flag.
+// Every state change notifies *all* waiters, which the paper identifies as a
+// wake-up count quadratic in the number of waiting threads. Reproduced
+// faithfully; timed variants (not in Listing 3) are added with the same
+// notify-all discipline so it can participate in the cross-implementation
+// property battery.
+#pragma once
+
+#include <optional>
+#include <utility>
+
+#include "support/time.hpp"
+#include "sync/monitor.hpp"
+
+namespace ssq {
+
+template <typename T>
+class naive_sq {
+ public:
+  static constexpr bool supports_timed = true;
+  static constexpr bool is_fair = false; // monitor wakeups are unordered
+
+  void put(T e) { (void)offer(std::move(e), deadline::unbounded()); }
+
+  T take() {
+    auto v = poll(deadline::unbounded());
+    return std::move(*v);
+  }
+
+  // Returns false on deadline expiry (the item, if inserted, is retracted).
+  bool offer(T e, deadline dl = deadline::expired()) {
+    return mon_.synchronized([&](sync::monitor::scope &s) {
+      while (putting_) {
+        if (!s.wait_until(dl)) return false;
+      }
+      putting_ = true;
+      item_.emplace(std::move(e));
+      s.notify_all();
+      while (item_.has_value()) {
+        if (!s.wait_until(dl) && item_.has_value()) {
+          // Timed out with our offering untaken: retract it.
+          item_.reset();
+          putting_ = false;
+          s.notify_all();
+          return false;
+        }
+      }
+      putting_ = false;
+      s.notify_all();
+      return true;
+    });
+  }
+
+  std::optional<T> poll(deadline dl = deadline::expired()) {
+    return mon_.synchronized([&](sync::monitor::scope &s) -> std::optional<T> {
+      while (!item_.has_value()) {
+        if (!s.wait_until(dl) && !item_.has_value()) return std::nullopt;
+      }
+      std::optional<T> e = std::move(item_);
+      item_.reset();
+      s.notify_all();
+      return e;
+    });
+  }
+
+ private:
+  sync::monitor mon_;
+  bool putting_ = false;
+  std::optional<T> item_;
+};
+
+} // namespace ssq

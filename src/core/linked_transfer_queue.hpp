@@ -1,0 +1,98 @@
+// linked_transfer_queue<T>: the TransferQueue extension described in the
+// paper's conclusion (§5): "TransferQueues permit producers to enqueue data
+// either synchronously or asynchronously ... The base synchronous support in
+// TransferQueues mirrors our fair synchronous queue. The asynchronous
+// additions differ only by releasing producers before items are taken."
+//
+// Implementation: the synchronous dual queue already represents pending data
+// and pending requests in one list; asynchronous put is literally the same
+// append with the producer declining to wait (wait_kind::async).
+#pragma once
+
+#include <optional>
+#include <utility>
+
+#include "core/transfer_queue.hpp"
+#include "core/wait_kind.hpp"
+#include "support/codec.hpp"
+
+namespace ssq {
+
+template <typename T, typename Reclaimer = mem::hp_reclaimer>
+class linked_transfer_queue {
+  using codec = item_codec<T>;
+
+ public:
+  linked_transfer_queue() : linked_transfer_queue(sync::spin_policy::adaptive()) {}
+  explicit linked_transfer_queue(sync::spin_policy pol) : core_(pol) {
+    core_.set_token_disposer(&dispose_token);
+  }
+
+  // Asynchronous enqueue: never blocks; the item is buffered until a
+  // consumer arrives (this is the only operation that distinguishes this
+  // class from the fair synchronous queue).
+  void put(T v) {
+    item_token t = codec::encode(std::move(v));
+    core_.xfer(t, true, wait_kind::async);
+  }
+
+  // Synchronous enqueue: block until a consumer receives the item.
+  void transfer(T v) {
+    item_token t = codec::encode(std::move(v));
+    item_token r = core_.xfer(t, true, wait_kind::sync);
+    SSQ_ASSERT(r != empty_token, "untimed transfer cannot fail");
+  }
+
+  // Hand off only if a consumer is already waiting.
+  bool try_transfer(T v) { return try_transfer(std::move(v), deadline::expired()); }
+
+  bool try_transfer(T v, deadline dl, sync::interrupt_token *tok = nullptr) {
+    item_token t = codec::encode(std::move(v));
+    wait_kind wk =
+        (dl == deadline::expired()) ? wait_kind::now : wait_kind::timed;
+    item_token r = core_.xfer(t, true, wk, dl, tok);
+    if (r == empty_token) {
+      codec::dispose(t);
+      return false;
+    }
+    return true;
+  }
+
+  // Executor hook (HandoffChannel): an asynchronous put cannot fail, so
+  // this buffers and reports success regardless of deadline.
+  bool try_put_ref(T &v, deadline /*dl*/ = deadline::expired(),
+                   sync::interrupt_token * /*tok*/ = nullptr) {
+    put(std::move(v));
+    return true;
+  }
+
+  T take() {
+    item_token r = core_.xfer(empty_token, false, wait_kind::sync);
+    return codec::decode_consume(r);
+  }
+
+  std::optional<T> poll() { return poll(deadline::expired()); }
+
+  std::optional<T> poll(deadline dl, sync::interrupt_token *tok = nullptr) {
+    wait_kind wk =
+        (dl == deadline::expired()) ? wait_kind::now : wait_kind::timed;
+    item_token r = core_.xfer(empty_token, false, wk, dl, tok);
+    if (r == empty_token) return std::nullopt;
+    return codec::decode_consume(r);
+  }
+
+  // True when a consumer is currently blocked waiting (JDK hasWaitingConsumer).
+  bool has_waiting_consumer() const noexcept {
+    return !core_.is_empty() && !core_.head_is_data();
+  }
+
+  bool is_empty() const noexcept { return core_.is_empty(); }
+  std::size_t unsafe_length() const noexcept { return core_.unsafe_length(); }
+
+ private:
+  static void dispose_token(item_token t) { codec::dispose(t); }
+
+  transfer_queue<Reclaimer> core_;
+};
+
+} // namespace ssq

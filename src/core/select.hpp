@@ -1,0 +1,142 @@
+// select: wait on several synchronous channels at once (CSP's alternation,
+// Go's select). Completes the CSP story the paper opens with (§1:
+// synchronous queues "constitute the central synchronization primitive of
+// Hoare's CSP").
+//
+// Semantics: try each alternative's non-blocking form (poll/offer) in a
+// randomized order; if none is ready, briefly camp on one alternative with
+// a bounded timed wait, then re-scan. The randomized start index prevents
+// starvation of later alternatives; the camping quantum bounds the latency
+// of discovering readiness on the others.
+//
+// This is a *polling* alternation, not a registering one: a take-select and
+// a put-select that meet only through their non-blocking probes rendezvous
+// within one camping quantum rather than instantly. The registering design
+// (install cancellable reservations in every queue, arbitrate multi-way
+// matches) is what JCSP/Go runtimes do with channel locks; on top of
+// lock-free dual structures it would require a two-phase reservation
+// protocol that the underlying algorithms do not provide. The bounded-camp
+// approach keeps the strong per-queue guarantees and adds at most one
+// quantum of latency.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <optional>
+#include <utility>
+
+#include "support/rng.hpp"
+#include "support/time.hpp"
+
+namespace ssq {
+
+// Must be exactly `nanoseconds` so the convenience overloads match the
+// (deadline, nanoseconds, Qs&...) signature rather than packing the quantum
+// into the queue parameter pack.
+inline constexpr nanoseconds select_default_quantum =
+    std::chrono::microseconds(200);
+
+// Constraint for the convenience overloads: everything in the pack must be
+// a channel, so a stray duration argument cannot be swallowed by the pack.
+template <typename Q>
+concept selectable_channel = requires(Q &q) { q.poll(); };
+
+// ---------------------------------------------------------------------------
+// select_take: receive from whichever of N queues produces first.
+// Queues need poll() -> optional<T> and try_take(deadline) -> optional<T>.
+// Returns {index, value}, or nullopt on deadline expiry.
+// ---------------------------------------------------------------------------
+template <typename T, typename... Qs>
+std::optional<std::pair<std::size_t, T>> select_take(
+    deadline dl, nanoseconds quantum, Qs &...queues) {
+  constexpr std::size_t n = sizeof...(Qs);
+  static_assert(n >= 1);
+  thread_local xoshiro256 rng{0x6a09e667f3bcc908ULL ^
+                              reinterpret_cast<std::uintptr_t>(&rng)};
+
+  // Type-erased probes over the heterogeneous queue pack.
+  struct probe_t {
+    void *q;
+    std::optional<T> (*poll_now)(void *);
+    std::optional<T> (*poll_until)(void *, deadline);
+  };
+  std::array<probe_t, n> probes = {probe_t{
+      static_cast<void *>(&queues),
+      [](void *q) { return static_cast<Qs *>(q)->poll(); },
+      [](void *q, deadline d) {
+        return static_cast<Qs *>(q)->try_take(d);
+      }}...};
+
+  for (;;) {
+    // Fast scan: randomized rotation for fairness among alternatives.
+    std::size_t start = static_cast<std::size_t>(rng.below(n));
+    for (std::size_t k = 0; k < n; ++k) {
+      std::size_t i = (start + k) % n;
+      if (auto v = probes[i].poll_now(probes[i].q))
+        return std::make_pair(i, std::move(*v));
+    }
+    if (dl.expired_now()) return std::nullopt;
+    // Camp on one alternative for a bounded quantum.
+    std::size_t camp = static_cast<std::size_t>(rng.below(n));
+    deadline q_dl = deadline::in(quantum);
+    if (q_dl.when() > dl.when()) q_dl = dl;
+    if (auto v = probes[camp].poll_until(probes[camp].q, q_dl))
+      return std::make_pair(camp, std::move(*v));
+  }
+}
+
+template <typename T, typename... Qs>
+  requires(selectable_channel<Qs> && ...)
+std::optional<std::pair<std::size_t, T>> select_take(deadline dl,
+                                                     Qs &...queues) {
+  return select_take<T>(dl, select_default_quantum, queues...);
+}
+
+// ---------------------------------------------------------------------------
+// select_put: hand `v` to whichever of N queues accepts first. Queues need
+// offer(T) -> bool and try_put_ref(T&, deadline) -> bool. Returns the index
+// served, or nullopt on expiry (the value is handed back via `v`).
+// ---------------------------------------------------------------------------
+template <typename T, typename... Qs>
+std::optional<std::size_t> select_put(T &v, deadline dl, nanoseconds quantum,
+                                      Qs &...queues) {
+  constexpr std::size_t n = sizeof...(Qs);
+  static_assert(n >= 1);
+  thread_local xoshiro256 rng{0xbb67ae8584caa73bULL ^
+                              reinterpret_cast<std::uintptr_t>(&rng)};
+
+  struct probe_t {
+    void *q;
+    bool (*offer_now)(void *, T &);
+    bool (*offer_until)(void *, T &, deadline);
+  };
+  std::array<probe_t, n> probes = {probe_t{
+      static_cast<void *>(&queues),
+      [](void *q, T &val) {
+        return static_cast<Qs *>(q)->try_put_ref(val, deadline::expired());
+      },
+      [](void *q, T &val, deadline d) {
+        return static_cast<Qs *>(q)->try_put_ref(val, d);
+      }}...};
+
+  for (;;) {
+    std::size_t start = static_cast<std::size_t>(rng.below(n));
+    for (std::size_t k = 0; k < n; ++k) {
+      std::size_t i = (start + k) % n;
+      if (probes[i].offer_now(probes[i].q, v)) return i;
+    }
+    if (dl.expired_now()) return std::nullopt;
+    std::size_t camp = static_cast<std::size_t>(rng.below(n));
+    deadline q_dl = deadline::in(quantum);
+    if (q_dl.when() > dl.when()) q_dl = dl;
+    if (probes[camp].offer_until(probes[camp].q, v, q_dl)) return camp;
+  }
+}
+
+template <typename T, typename... Qs>
+  requires(selectable_channel<Qs> && ...)
+std::optional<std::size_t> select_put(T &v, deadline dl, Qs &...queues) {
+  return select_put(v, dl, select_default_quantum, queues...);
+}
+
+} // namespace ssq

@@ -1,0 +1,492 @@
+// The synchronous dual stack -- the paper's UNFAIR algorithm (§3.3, "The
+// synchronous dual stack"), extended with timeout and poll/offer modes.
+//
+// Structure: a singly linked list with a head pointer, derived from the
+// Treiber stack. It holds either data or reservations, plus (transiently) a
+// single *fulfilling* node of the opposite type at the top. A fulfiller
+// pushes its fulfilling node above a waiting reservation; from that moment
+// every other thread must help complete the annihilation of the top two
+// nodes before doing its own work (lock-freedom via helping).
+//
+// Linearization points (paper §3.3):
+//   * same-mode path: the head CAS that pushes our node (request), and the
+//     observation that our match word changed (follow-up);
+//   * fulfilling path: the head CAS that pushes the fulfilling node; the
+//     follow-up linearizes immediately after.
+//
+// Port notes (C++ vs. Java -- what GC was hiding):
+//
+//  1. Result handoff. The JDK lets a waiter read `match.item` and a
+//     fulfiller read `m.item` *after* the nodes are popped, relying on GC to
+//     keep the counterpart's node alive. Here each node owns a write-once
+//     transfer word (`xword`); the unique winner of the match CAS copies
+//     the counterpart's token into each party's own node, so nobody ever
+//     dereferences a node it does not own or hold a hazard on:
+//
+//       waiter node m:  xword: empty -> self-token          (cancelled)
+//                              empty -> data token          (m is a request)
+//                              empty -> fulfiller address   (m is data)
+//       fulfilling s:   xword: empty -> m's data token      (s is a request)
+//                              empty -> m's address         (s is data)
+//
+//  2. Unlink safety. A splice of a cancelled node through a *stale* (already
+//     popped) predecessor would retire a node still reachable from the live
+//     chain -- harmless in Java, fatal here. As in transfer_queue: before a
+//     node is physically unlinked its own next pointer is frozen (tag bit),
+//     and every next-pointer splice expects an untagged value, so it cannot
+//     succeed through a predecessor that has begun dying. Head pops freeze
+//     the victim(s) before the head CAS for the same reason, which also
+//     pins the post-pop successor value the CAS installs.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdio>
+#include <cstdint>
+
+#include "core/wait_kind.hpp"
+#include "memory/reclaim.hpp"
+#include "support/cacheline.hpp"
+#include "support/codec.hpp"
+#include "support/diagnostics.hpp"
+#include "sync/interrupt.hpp"
+#include "sync/park_slot.hpp"
+#include "sync/spin_policy.hpp"
+
+namespace ssq {
+
+template <typename Reclaimer = mem::hp_reclaimer>
+class transfer_stack {
+  enum : unsigned { req_mode = 0, data_mode = 1, fulfilling = 2 };
+
+ public:
+  explicit transfer_stack(sync::spin_policy pol = sync::spin_policy::adaptive(),
+                          Reclaimer rec = Reclaimer{})
+      : rec_(std::move(rec)), pol_(pol) {
+    head_.value.store(nullptr, std::memory_order_relaxed);
+  }
+
+  ~transfer_stack() {
+    snode *n = head_.value.load(std::memory_order_relaxed);
+    while (n) {
+      snode *next = strip(n->next.load(std::memory_order_relaxed));
+      if ((n->mode & data_mode) && disposer_ && n->item != empty_token &&
+          n->xword.load(std::memory_order_relaxed) == empty_token)
+        disposer_(n->item); // unconsumed data (async producer leftovers)
+      delete n;
+      diag::bump(diag::id::node_free);
+      n = next;
+    }
+  }
+
+  transfer_stack(const transfer_stack &) = delete;
+  transfer_stack &operator=(const transfer_stack &) = delete;
+
+  void set_token_disposer(void (*d)(item_token)) noexcept { disposer_ = d; }
+
+  // See transfer_queue::xfer for the contract; identical here except that
+  // service order is LIFO.
+  item_token xfer(item_token e, bool is_data, wait_kind wk,
+                  deadline dl = deadline::unbounded(),
+                  sync::interrupt_token *tok = nullptr) {
+    SSQ_ASSERT(is_data == (e != empty_token), "token/mode mismatch");
+    SSQ_ASSERT(!(wk == wait_kind::async && !is_data),
+               "async mode is producers-only");
+    const unsigned mode = is_data ? data_mode : req_mode;
+
+    snode *s = nullptr;
+    typename Reclaimer::slot hz_h(rec_), hz_m(rec_), hz_n(rec_);
+
+    for (;;) {
+      snode *h = hz_h.protect(head_.value);
+      if (h == nullptr || h->mode == mode) {
+        // ---------------------------------------- empty or same-mode: wait
+        if (wk == wait_kind::now ||
+            (wk == wait_kind::timed && dl.expired_now())) {
+          if (h != nullptr && h->is_cancelled()) {
+            pop_head(h); // shed garbage, then retry the whole decision
+            continue;
+          }
+          if (s) {
+            delete s;
+            diag::bump(diag::id::node_free);
+          }
+          return empty_token;
+        }
+        if (s == nullptr) {
+          s = new snode(e, mode);
+          diag::bump(diag::id::node_alloc);
+          if (wk == wait_kind::async) s->life.preset_released();
+        } else {
+          s->mode = mode; // may carry a fulfilling bit from a failed attempt
+        }
+        s->next.store(h, std::memory_order_relaxed);
+        if (!head_.value.compare_exchange_strong(h, s,
+                                                 std::memory_order_seq_cst)) {
+          diag::bump(diag::id::cas_fail);
+          continue;
+        }
+        // Request linearizes at the push above.
+        if (wk == wait_kind::async) return e;
+
+        item_token x = await_fulfill(s, dl, tok);
+        if (x == s->self_token()) { // cancelled
+          clean(s);
+          if (s->life.mark_released()) rec_retire(s);
+          return empty_token;
+        }
+        // Fulfilled: help the fulfiller pop the pair, then leave.
+        help_unlink_self(s, hz_h);
+        if (s->life.mark_released()) rec_retire(s);
+        return is_data ? e : x;
+      } else if (!(h->mode & fulfilling)) {
+        // --------------------------------------- complementary: fulfill
+        if (h->is_cancelled()) { // shed a cancelled top node
+          pop_head(h);
+          continue;
+        }
+        if (s == nullptr) {
+          s = new snode(e, mode | fulfilling);
+          diag::bump(diag::id::node_alloc);
+        } else {
+          s->mode = mode | fulfilling;
+        }
+        s->next.store(h, std::memory_order_relaxed);
+        if (!head_.value.compare_exchange_strong(h, s,
+                                                 std::memory_order_seq_cst)) {
+          diag::bump(diag::id::cas_fail);
+          continue;
+        }
+        // Fulfillment loop: annihilate s with the node beneath it. Other
+        // threads may help; completion is signalled through s->xword.
+        for (;;) {
+          item_token got = s->xword.load(std::memory_order_seq_cst);
+          if (got != empty_token) { // a helper finished the match for us
+            if (!s->life.is_unlinked()) pop_pair(s);
+            if (s->life.mark_released()) rec_retire(s);
+            return is_data ? e : got;
+          }
+          if (s->life.is_unlinked()) {
+            // s left the stack with xword still empty at our read above.
+            // Either a match+pop raced between the two reads (xword is set
+            // now and final), or a helper retracted us from an empty stack
+            // (m == nullptr path) and we must start over.
+            got = s->xword.load(std::memory_order_seq_cst);
+            if (got != empty_token) {
+              if (s->life.mark_released()) rec_retire(s);
+              return is_data ? e : got;
+            }
+            if (s->life.mark_released()) rec_retire(s);
+            s = nullptr;
+            break; // outer loop; fresh node next time
+          }
+          auto [m, s_dying] = read_next(s, hz_m);
+          if (s_dying)
+            continue; // a match+pop is in flight; xword is set (try_match
+                      // stores it before any pop can freeze s)
+          if (m == nullptr) {
+            // All waiters vanished (timed out): retract the fulfilling
+            // node and start over.
+            snode *expected = s;
+            if (head_.value.compare_exchange_strong(
+                    expected, nullptr, std::memory_order_seq_cst)) {
+              snode *dead = s;
+              s = nullptr;
+              if (dead->life.mark_unlinked()) rec_retire(dead);
+              if (dead->life.mark_released()) rec_retire(dead);
+              break; // outer loop; fresh node next time
+            }
+            continue;
+          }
+          if (try_match(m, s)) {
+            pop_pair(s);
+            item_token r = s->xword.load(std::memory_order_seq_cst);
+            if (s->life.mark_released()) rec_retire(s);
+            return is_data ? e : r;
+          }
+          // m was cancelled: freeze and splice it out, try its successor.
+          snode *mn = freeze_next(m);
+          if (s->cas_next(m, mn)) {
+            if (m->life.mark_unlinked()) rec_retire(m);
+            diag::bump(diag::id::clean_unlink);
+          }
+        }
+      } else {
+        // ------------------------------ top is someone else's fulfiller:
+        // help complete the annihilation, then retry our own operation.
+        help(h, hz_m, hz_n);
+      }
+    }
+  }
+
+  // ------------------------------------------------------------ observers
+
+  bool is_empty() const noexcept {
+    return head_.value.load(std::memory_order_acquire) == nullptr;
+  }
+
+  std::size_t unsafe_length() const noexcept {
+    std::size_t n = 0;
+    for (snode *p = head_.value.load(std::memory_order_acquire); p;
+         p = strip(p->next.load(std::memory_order_acquire)))
+      ++n;
+    return n;
+  }
+
+  bool head_is_data() const noexcept {
+    snode *h = head_.value.load(std::memory_order_acquire);
+    return h && (h->mode & data_mode);
+  }
+
+  Reclaimer &reclaimer() noexcept { return rec_; }
+
+  // Diagnostic: dump the chain from head. Racy; for tests and debugging.
+  void debug_dump(FILE *f) const {
+    snode *p = head_.value.load(std::memory_order_acquire);
+    std::fprintf(f, "  ts head=%p\n", static_cast<void *>(p));
+    int i = 0;
+    for (; p && i < 32; ++i) {
+      snode *raw = p->next.load(std::memory_order_acquire);
+      item_token xw = p->xword.load(std::memory_order_acquire);
+      const char *cls = xw == empty_token       ? "waiting"
+                        : xw == p->self_token() ? "CANCELLED"
+                                                : "matched";
+      std::fprintf(f, "  [%d] %p mode=%u xword=%s next=%p%s\n", i,
+                   static_cast<void *>(p), p->mode, cls,
+                   static_cast<void *>(strip(raw)), tagged(raw) ? " TAGGED" : "");
+      p = strip(raw);
+    }
+  }
+
+ private:
+  struct snode;
+
+  static snode *strip(snode *p) noexcept {
+    return reinterpret_cast<snode *>(reinterpret_cast<std::uintptr_t>(p) &
+                                     ~std::uintptr_t(1));
+  }
+  static bool tagged(snode *p) noexcept {
+    return (reinterpret_cast<std::uintptr_t>(p) & 1) != 0;
+  }
+  static snode *with_tag(snode *p) noexcept {
+    return reinterpret_cast<snode *>(reinterpret_cast<std::uintptr_t>(p) | 1);
+  }
+
+  struct snode {
+    std::atomic<snode *> next{nullptr};
+    std::atomic<item_token> xword{empty_token}; // see file comment
+    item_token item;                            // immutable after creation
+    unsigned mode;                              // mutated only pre-publish
+    sync::park_slot slot;
+    mem::life_cycle life;
+
+    snode(item_token it, unsigned md) noexcept : item(it), mode(md) {}
+
+    item_token self_token() const noexcept {
+      return reinterpret_cast<item_token>(this);
+    }
+    bool is_cancelled() const noexcept {
+      return xword.load(std::memory_order_acquire) == self_token();
+    }
+    bool cas_next(snode *expected, snode *desired) noexcept {
+      return next.compare_exchange_strong(expected, desired,
+                                          std::memory_order_seq_cst);
+    }
+  };
+
+  // Freeze n's next pointer (idempotent); returns the stripped successor.
+  // Null is terminal for a stack node's next (nothing is ever inserted
+  // below an existing node), so it needs no tag.
+  static snode *freeze_next(snode *n) noexcept {
+    for (;;) {
+      snode *raw = n->next.load(std::memory_order_seq_cst);
+      if (raw == nullptr) return nullptr;
+      if (tagged(raw)) return strip(raw);
+      if (n->next.compare_exchange_weak(raw, with_tag(raw),
+                                        std::memory_order_seq_cst))
+        return raw;
+    }
+  }
+
+  void rec_retire(snode *n) {
+    rec_.retire(n);
+    diag::bump(diag::id::node_free);
+  }
+
+  // Protected read of x->next. On return:
+  //   * x_dying == false: `node` was live when its hazard was published
+  //     (x's next was untagged and unchanged across the publication);
+  //   * x_dying == true: x has begun dying; `node` is the frozen successor
+  //     VALUE -- usable as a pointer (e.g. as a head-CAS target) but not
+  //     dereferenceable unless protected by other means.
+  struct next_read {
+    snode *node;
+    bool x_dying;
+  };
+  next_read read_next(snode *x, typename Reclaimer::slot &hz) noexcept {
+    for (;;) {
+      snode *raw = x->next.load(std::memory_order_seq_cst);
+      hz.set(strip(raw));
+      if (tagged(raw)) return {strip(raw), true};
+      if (x->next.load(std::memory_order_seq_cst) == raw) return {raw, false};
+    }
+  }
+
+  // The match linearization (JDK SNode::tryMatch). Returns true when m is
+  // matched to s (by us or by an earlier helper with the same pair).
+  // Precondition: caller holds a hazard on m that was published while m was
+  // provably live.
+  bool try_match(snode *m, snode *s) noexcept {
+    // Value written into the waiter: a reservation receives the fulfiller's
+    // data token; a data node receives the fulfiller's address as a pure
+    // "claimed" marker.
+    const item_token v = (s->mode & data_mode)
+                             ? s->item
+                             : reinterpret_cast<item_token>(s);
+    item_token expected = empty_token;
+    if (m->xword.compare_exchange_strong(expected, v,
+                                         std::memory_order_seq_cst)) {
+      // Unique winner: report the counterpart into the fulfilling node,
+      // then wake the waiter. (Order matters: xword before any pop, so a
+      // frozen fulfilling node always implies its xword is set.)
+      const item_token back = (s->mode & data_mode)
+                                  ? reinterpret_cast<item_token>(m)
+                                  : m->item;
+      s->xword.store(back, std::memory_order_seq_cst);
+      m->slot.signal();
+      return true;
+    }
+    return expected == v; // already matched to this same fulfiller
+  }
+
+  // Pop the fulfilling node `top` and its matched partner together.
+  // Freezes both victims' next pointers before the head CAS: stale
+  // splicers through them then fail, and the installed successor value is
+  // immutable (and provably live until the pop, since it could only become
+  // head through this very pop).
+  void pop_pair(snode *top) {
+    snode *m = freeze_next(top); // the matched partner
+    snode *mn = m ? freeze_next(m) : nullptr;
+    snode *expected = top;
+    if (head_.value.compare_exchange_strong(expected, mn,
+                                            std::memory_order_seq_cst)) {
+      if (top->life.mark_unlinked()) rec_retire(top);
+      if (m && m->life.mark_unlinked()) rec_retire(m);
+    }
+  }
+
+  // Pop a (cancelled) head node.
+  void pop_head(snode *h) {
+    snode *hn = freeze_next(h);
+    snode *expected = h;
+    if (head_.value.compare_exchange_strong(expected, hn,
+                                            std::memory_order_seq_cst)) {
+      if (h->life.mark_unlinked()) rec_retire(h);
+    }
+  }
+
+  // After our own node s was matched: if the pair (fulfiller above us, us)
+  // is still at the top, complete the pop on the fulfiller's behalf.
+  void help_unlink_self(snode *s, typename Reclaimer::slot &hz_h) {
+    if (s->life.is_unlinked()) return;
+    snode *h = hz_h.protect(head_.value);
+    if (h == nullptr || h == s) return;
+    // h is protected; reading h->next is safe (strip: h may be dying).
+    if (strip(h->next.load(std::memory_order_acquire)) == s) pop_pair(h);
+  }
+
+  // Help the fulfilling node h annihilate with its partner. Caller holds a
+  // hazard on h (it was protected as head).
+  void help(snode *h, typename Reclaimer::slot &hz_m,
+            typename Reclaimer::slot &hz_n) {
+    auto [m, h_dying] = read_next(h, hz_m);
+    if (h_dying || h->life.is_unlinked()) return; // pop already in flight
+    if (m == nullptr) {
+      snode *expected = h;
+      if (head_.value.compare_exchange_strong(expected, nullptr,
+                                              std::memory_order_seq_cst)) {
+        if (h->life.mark_unlinked()) rec_retire(h);
+      }
+      return;
+    }
+    (void)hz_n; // m is hazard-protected via hz_m; its successor is only
+                // ever used as a frozen pointer value inside the pops
+    if (try_match(m, h)) {
+      pop_pair(h);
+    } else {
+      // m is cancelled: freeze and splice it out on the fulfiller's behalf.
+      snode *mn = freeze_next(m);
+      if (h->cas_next(m, mn)) {
+        if (m->life.mark_unlinked()) rec_retire(m);
+        diag::bump(diag::id::clean_unlink);
+      }
+    }
+  }
+
+  // Wait for our xword to change; cancel on timeout/interrupt.
+  item_token await_fulfill(snode *s, deadline dl,
+                           sync::interrupt_token *tok) {
+    auto done = [&] {
+      return s->xword.load(std::memory_order_seq_cst) != empty_token;
+    };
+    auto at_front = [&] {
+      // Spin the long count when we are on top or covered by a fulfiller.
+      typename Reclaimer::slot hz(rec_);
+      snode *h = hz.protect(head_.value);
+      return h == s || (h != nullptr && (h->mode & fulfilling));
+    };
+    auto r = sync::spin_then_park(s->slot, done, at_front, pol_, dl, tok);
+    if (r != sync::park_slot::wait_result::woken) {
+      item_token expected = empty_token;
+      s->xword.compare_exchange_strong(expected, s->self_token(),
+                                       std::memory_order_seq_cst);
+    }
+    return s->xword.load(std::memory_order_seq_cst);
+  }
+
+  // Unlink cancelled nodes at and around s (JDK SNode::clean, minus the
+  // `past` cancellation refinement, which would require dereferencing a
+  // possibly-dead successor; the pointer is used for comparison only).
+  void clean(snode *s) {
+    diag::bump(diag::id::clean_call);
+    typename Reclaimer::slot hz_p(rec_), hz_q(rec_);
+
+    snode *past = strip(s->next.load(std::memory_order_acquire)); // cmp-only
+
+    // Absorb cancelled prefix.
+    snode *p;
+    for (;;) {
+      p = hz_p.protect(head_.value);
+      if (p == nullptr || p == past) return;
+      if (!p->is_cancelled()) break;
+      pop_head(p);
+    }
+    // Unsplice interior cancelled nodes up to `past`.
+    while (p != nullptr && p != past) {
+      auto [n, p_dying] = read_next(p, hz_q);
+      if (p_dying) return; // lost our anchor; head traffic finishes the job
+      if (n != nullptr && n->is_cancelled()) {
+        snode *nn = freeze_next(n);
+        if (p->cas_next(n, nn)) {
+          if (n->life.mark_unlinked()) rec_retire(n);
+          diag::bump(diag::id::clean_unlink);
+        } else {
+          return; // p changed under us (dying or raced); give up
+        }
+      } else {
+        // Advance: transfer protection p <- n (n was validated live by
+        // read_next; re-validate after re-publishing on hz_p).
+        hz_p.set(n);
+        if (p->next.load(std::memory_order_seq_cst) != n) return;
+        p = n;
+      }
+    }
+  }
+
+  Reclaimer rec_;
+  sync::spin_policy pol_;
+  void (*disposer_)(item_token) = nullptr;
+  padded_atomic<snode *> head_;
+};
+
+} // namespace ssq

@@ -1,0 +1,25 @@
+// The handoff-channel concept the executor is generic over.
+//
+// Any of the synchronous queues in this library (and linked_transfer_queue)
+// satisfies it; bench/fig6_executor instantiates the executor over each of
+// the paper's four contenders.
+#pragma once
+
+#include <concepts>
+#include <optional>
+
+#include "support/time.hpp"
+#include "sync/interrupt.hpp"
+
+namespace ssq {
+
+template <typename Q, typename T>
+concept HandoffChannel = requires(Q q, T v, T &vr, deadline dl,
+                                  sync::interrupt_token *tok) {
+  // Timed receive; nullopt on expiry/interrupt.
+  { q.poll(dl, tok) } -> std::convertible_to<std::optional<T>>;
+  // Timed handoff that returns the value on failure.
+  { q.try_put_ref(vr, dl, tok) } -> std::convertible_to<bool>;
+};
+
+} // namespace ssq

@@ -1,0 +1,36 @@
+// Convenience pool configurations (the java.util.concurrent.Executors
+// factory analogues the paper's benchmark setup references).
+#pragma once
+
+#include "core/linked_transfer_queue.hpp"
+#include "core/synchronous_queue.hpp"
+#include "executor/thread_pool_executor.hpp"
+
+namespace ssq {
+
+// The paper's CachedThreadPool: zero core threads, unbounded growth, work
+// handed to idle workers through a synchronous queue (unfair mode for
+// locality, as in the JDK).
+using cached_thread_pool =
+    thread_pool_executor<synchronous_queue<unique_task, false>>;
+
+inline executor_config cached_pool_config(
+    nanoseconds keep_alive = std::chrono::seconds(60)) {
+  return executor_config{0, std::size_t{1} << 20, keep_alive};
+}
+
+// A fixed-size pool: N core workers over a buffered FIFO channel (the
+// linked_transfer_queue in asynchronous mode), never shrinking.
+using fixed_thread_pool =
+    thread_pool_executor<linked_transfer_queue<unique_task>>;
+
+inline executor_config fixed_pool_config(std::size_t threads) {
+  return executor_config{threads, threads, std::chrono::hours(24 * 365)};
+}
+
+// The paper's fair variant of the cached pool (FIFO worker reuse; §4 shows
+// why this costs locality on some platforms and wins on others).
+using fair_cached_thread_pool =
+    thread_pool_executor<synchronous_queue<unique_task, true>>;
+
+} // namespace ssq

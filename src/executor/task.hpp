@@ -1,0 +1,52 @@
+// unique_task: a move-only type-erased callable.
+//
+// std::function requires copyability, which bans tasks that capture
+// promises, sockets, or unique_ptrs -- precisely what thread-pool tasks
+// capture. (std::move_only_function is C++23; we target C++20.)
+#pragma once
+
+#include <memory>
+#include <type_traits>
+#include <utility>
+
+namespace ssq {
+
+class unique_task {
+  struct base {
+    virtual void run() = 0;
+    virtual ~base() = default;
+  };
+
+  template <typename F>
+  struct impl final : base {
+    explicit impl(F f) : fn(std::move(f)) {}
+    void run() override { fn(); }
+    F fn;
+  };
+
+ public:
+  unique_task() noexcept = default;
+
+  template <typename F,
+            typename = std::enable_if_t<
+                !std::is_same_v<std::decay_t<F>, unique_task> &&
+                std::is_invocable_v<std::decay_t<F> &>>>
+  unique_task(F &&f) // NOLINT: implicit by design, mirrors std::function
+      : p_(std::make_unique<impl<std::decay_t<F>>>(std::forward<F>(f))) {}
+
+  unique_task(unique_task &&) noexcept = default;
+  unique_task &operator=(unique_task &&) noexcept = default;
+  unique_task(const unique_task &) = delete;
+  unique_task &operator=(const unique_task &) = delete;
+
+  void operator()() {
+    p_->run();
+  }
+
+  explicit operator bool() const noexcept { return p_ != nullptr; }
+
+ private:
+  std::unique_ptr<base> p_;
+};
+
+} // namespace ssq

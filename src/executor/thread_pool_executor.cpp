@@ -1,0 +1,31 @@
+#include "executor/thread_pool_executor.hpp"
+
+#include <atomic>
+#include <cstdio>
+
+#if defined(__linux__)
+#include <pthread.h>
+#endif
+
+namespace ssq::exec_detail {
+
+std::uint64_t next_pool_id() noexcept {
+  static std::atomic<std::uint64_t> seq{1};
+  return seq.fetch_add(1, std::memory_order_relaxed);
+}
+
+void name_worker_thread(std::uint64_t pool_id,
+                        std::uint64_t worker_id) noexcept {
+#if defined(__linux__)
+  char name[16]; // pthread limit including NUL
+  std::snprintf(name, sizeof name, "ssq-%llu-%llu",
+                static_cast<unsigned long long>(pool_id),
+                static_cast<unsigned long long>(worker_id));
+  pthread_setname_np(pthread_self(), name);
+#else
+  (void)pool_id;
+  (void)worker_id;
+#endif
+}
+
+} // namespace ssq::exec_detail

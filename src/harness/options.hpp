@@ -1,0 +1,27 @@
+// Minimal --key=value command-line parsing for the bench binaries.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace ssq::harness {
+
+class options {
+ public:
+  static options parse(int argc, char **argv);
+
+  bool has(const std::string &key) const;
+  std::string get(const std::string &key, const std::string &dflt) const;
+  std::int64_t get_int(const std::string &key, std::int64_t dflt) const;
+  double get_double(const std::string &key, double dflt) const;
+  // Comma-separated integers, e.g. --threads=1,2,4,8.
+  std::vector<int> get_int_list(const std::string &key,
+                                std::vector<int> dflt) const;
+
+ private:
+  std::map<std::string, std::string> kv_;
+};
+
+} // namespace ssq::harness

@@ -1,0 +1,76 @@
+// Workload runner for the figure benchmarks.
+//
+// Reproduces the paper's microbenchmark shape (§4): "threads that produce
+// and consume as fast as they can; this represents the limiting case of
+// producer-consumer applications as the cost to process elements approaches
+// zero." Producer/consumer quotas are balanced exactly so a synchronous
+// queue run always terminates.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "support/config.hpp"
+#include "support/time.hpp"
+
+namespace ssq::harness {
+
+struct run_result {
+  double ns_per_transfer = 0;
+  std::uint64_t transfers = 0;
+  double seconds = 0;
+  bool checksum_ok = true;
+};
+
+// Launch all `bodies` as threads, release them through a start barrier,
+// time from release to last exit. Defined in runner.cpp.
+double run_threads_timed(std::vector<std::function<void()>> bodies);
+
+// Split `total` into `parts` near-equal quotas.
+std::vector<std::uint64_t> split_quota(std::uint64_t total, int parts);
+
+// Producer/consumer handoff benchmark over any channel exposing put/take.
+// `Q` needs: void put(uint64_t), uint64_t take().
+template <typename Q>
+run_result run_handoff(Q &q, int nprod, int ncons, std::uint64_t transfers) {
+  SSQ_ASSERT(nprod >= 1 && ncons >= 1, "need at least one of each");
+  auto pq = split_quota(transfers, nprod);
+  auto cq = split_quota(transfers, ncons);
+
+  // Checksum: sum of produced values must equal sum of consumed values.
+  std::vector<std::uint64_t> psum(static_cast<std::size_t>(nprod)),
+      csum(static_cast<std::size_t>(ncons));
+
+  std::vector<std::function<void()>> bodies;
+  std::uint64_t base = 1; // value 0 would be invisible in the checksum
+  for (int p = 0; p < nprod; ++p) {
+    std::uint64_t lo = base, n = pq[static_cast<std::size_t>(p)];
+    base += n;
+    bodies.push_back([&q, lo, n, &s = psum[static_cast<std::size_t>(p)]] {
+      for (std::uint64_t i = 0; i < n; ++i) {
+        q.put(lo + i);
+        s += lo + i;
+      }
+    });
+  }
+  for (int c = 0; c < ncons; ++c) {
+    std::uint64_t n = cq[static_cast<std::size_t>(c)];
+    bodies.push_back([&q, n, &s = csum[static_cast<std::size_t>(c)]] {
+      for (std::uint64_t i = 0; i < n; ++i) s += q.take();
+    });
+  }
+
+  run_result r;
+  r.transfers = transfers;
+  r.seconds = run_threads_timed(std::move(bodies));
+  r.ns_per_transfer = r.seconds * 1e9 / static_cast<double>(transfers);
+
+  std::uint64_t put_total = 0, take_total = 0;
+  for (auto v : psum) put_total += v;
+  for (auto v : csum) take_total += v;
+  r.checksum_ok = (put_total == take_total);
+  return r;
+}
+
+} // namespace ssq::harness

@@ -1,0 +1,38 @@
+#include "harness/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace ssq::harness {
+
+summary summarize(std::vector<double> samples) {
+  summary s;
+  s.n = samples.size();
+  if (samples.empty()) return s;
+  std::sort(samples.begin(), samples.end());
+  s.min = samples.front();
+  s.max = samples.back();
+  s.median = (s.n % 2) ? samples[s.n / 2]
+                       : 0.5 * (samples[s.n / 2 - 1] + samples[s.n / 2]);
+  double sum = 0;
+  for (double v : samples) sum += v;
+  s.mean = sum / static_cast<double>(s.n);
+  double var = 0;
+  for (double v : samples) var += (v - s.mean) * (v - s.mean);
+  s.stddev = s.n > 1 ? std::sqrt(var / static_cast<double>(s.n - 1)) : 0.0;
+  return s;
+}
+
+double percentile(std::vector<double> &samples, double q) {
+  if (samples.empty()) return 0;
+  if (q <= 0) q = 0;
+  if (q >= 1) q = 1;
+  std::sort(samples.begin(), samples.end());
+  double rank = q * static_cast<double>(samples.size() - 1);
+  auto lo = static_cast<std::size_t>(rank);
+  auto hi = lo + 1 < samples.size() ? lo + 1 : lo;
+  double frac = rank - static_cast<double>(lo);
+  return samples[lo] + (samples[hi] - samples[lo]) * frac;
+}
+
+} // namespace ssq::harness

@@ -1,0 +1,57 @@
+#include "harness/table.hpp"
+
+#include <cstdio>
+
+#include "support/config.hpp"
+
+namespace ssq::harness {
+
+table::table(std::vector<std::string> columns) : cols_(std::move(columns)) {}
+
+void table::add_row(std::vector<std::string> cells) {
+  SSQ_ASSERT(cells.size() == cols_.size(), "row width mismatch");
+  rows_.push_back(std::move(cells));
+}
+
+std::string table::fmt(double v, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.*f", precision, v);
+  return buf;
+}
+
+void table::print() const {
+  std::vector<std::size_t> w(cols_.size());
+  for (std::size_t c = 0; c < cols_.size(); ++c) w[c] = cols_[c].size();
+  for (const auto &r : rows_)
+    for (std::size_t c = 0; c < r.size(); ++c)
+      if (r[c].size() > w[c]) w[c] = r[c].size();
+
+  auto line = [&](const std::vector<std::string> &cells) {
+    for (std::size_t c = 0; c < cells.size(); ++c)
+      std::printf("%s%*s", c ? "  " : "", static_cast<int>(w[c]),
+                  cells[c].c_str());
+    std::printf("\n");
+  };
+  line(cols_);
+  std::size_t total = 0;
+  for (std::size_t c = 0; c < cols_.size(); ++c) total += w[c] + (c ? 2 : 0);
+  for (std::size_t i = 0; i < total; ++i) std::printf("-");
+  std::printf("\n");
+  for (const auto &r : rows_) line(r);
+}
+
+bool table::write_csv(const std::string &path) const {
+  FILE *f = std::fopen(path.c_str(), "w");
+  if (!f) return false;
+  auto emit = [&](const std::vector<std::string> &cells) {
+    for (std::size_t c = 0; c < cells.size(); ++c)
+      std::fprintf(f, "%s%s", c ? "," : "", cells[c].c_str());
+    std::fprintf(f, "\n");
+  };
+  emit(cols_);
+  for (const auto &r : rows_) emit(r);
+  std::fclose(f);
+  return true;
+}
+
+} // namespace ssq::harness

@@ -1,0 +1,30 @@
+// Paper-style results table: one row per concurrency level, one column per
+// algorithm, printed aligned to stdout and optionally written as CSV (the
+// series a plotting script would consume to regenerate the figure).
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace ssq::harness {
+
+class table {
+ public:
+  explicit table(std::vector<std::string> columns);
+
+  void add_row(std::vector<std::string> cells);
+
+  // Aligned plain-text rendering.
+  void print() const;
+
+  // RFC-4180-ish CSV; returns false on I/O failure.
+  bool write_csv(const std::string &path) const;
+
+  static std::string fmt(double v, int precision = 1);
+
+ private:
+  std::vector<std::string> cols_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+} // namespace ssq::harness

@@ -1,0 +1,301 @@
+#include "memory/hazard.hpp"
+
+#include <algorithm>
+#include <mutex>
+#include <unordered_map>
+
+#include "support/diagnostics.hpp"
+
+namespace ssq::mem {
+
+// ---------------------------------------------------------------------------
+// Live-domain registry.
+//
+// Thread-local record caches hold raw pointers into domains. A domain (other
+// than the global one) may be destroyed while threads that used it are still
+// alive; their cache destructors must not touch freed memory. The registry
+// is consulted under its mutex before any cache-eviction dereference. It is
+// a function-local static constructed before any domain, hence destroyed
+// after all of them.
+// ---------------------------------------------------------------------------
+
+namespace {
+
+struct domain_registry {
+  std::mutex mu;
+  // live domain -> uid. The uid guards against a destroyed domain's address
+  // being reused by a newly constructed one.
+  std::unordered_map<const hazard_domain *, std::uint64_t> live;
+};
+
+domain_registry &registry() {
+  static domain_registry r;
+  return r;
+}
+
+std::uint64_t next_domain_uid() {
+  static std::atomic<std::uint64_t> seq{1};
+  return seq.fetch_add(1, std::memory_order_relaxed);
+}
+
+} // namespace
+
+struct hazard_domain::orphan_list {
+  std::mutex mu;
+  std::vector<retired_node> nodes;
+};
+
+struct hazard_domain::root_list {
+  std::mutex mu;
+  std::vector<const std::atomic<void *> *> roots;
+};
+
+// ---------------------------------------------------------------------------
+// Per-thread record cache.
+// ---------------------------------------------------------------------------
+
+struct hazard_domain::tl_cache {
+  struct entry {
+    hazard_domain *dom;
+    std::uint64_t uid;
+    record *rec;
+  };
+  // A thread rarely touches more than a couple of domains; linear scan wins.
+  std::vector<entry> entries;
+
+  record *find(hazard_domain *d) noexcept {
+    for (auto it = entries.begin(); it != entries.end(); ++it) {
+      if (it->dom == d) {
+        if (it->uid == d->uid()) return it->rec;
+        // Same address, different domain: the old one is gone; its record
+        // was freed with it.
+        entries.erase(it);
+        return nullptr;
+      }
+    }
+    return nullptr;
+  }
+
+  ~tl_cache() {
+    std::lock_guard<std::mutex> lk(registry().mu);
+    for (auto &e : entries) {
+      auto it = registry().live.find(e.dom);
+      if (it != registry().live.end() && it->second == e.uid)
+        e.dom->release_record(e.rec);
+    }
+  }
+};
+
+namespace {
+hazard_domain::tl_cache &cache() {
+  thread_local hazard_domain::tl_cache c;
+  return c;
+}
+} // namespace
+
+// ---------------------------------------------------------------------------
+// Domain lifecycle.
+// ---------------------------------------------------------------------------
+
+hazard_domain::hazard_domain()
+    : uid_(next_domain_uid()), orphans_(new orphan_list),
+      roots_(new root_list) {
+  std::lock_guard<std::mutex> lk(registry().mu);
+  registry().live.emplace(this, uid_);
+}
+
+void hazard_domain::add_root(const std::atomic<void *> *root) {
+  std::lock_guard<std::mutex> lk(roots_->mu);
+  roots_->roots.push_back(root);
+}
+
+void hazard_domain::remove_root(const std::atomic<void *> *root) {
+  std::lock_guard<std::mutex> lk(roots_->mu);
+  auto &v = roots_->roots;
+  for (auto it = v.begin(); it != v.end(); ++it) {
+    if (*it == root) {
+      v.erase(it);
+      return;
+    }
+  }
+}
+
+hazard_domain::~hazard_domain() {
+  {
+    std::lock_guard<std::mutex> lk(registry().mu);
+    registry().live.erase(this);
+  }
+  // Contract: no concurrent users remain. Everything pending is freed.
+  {
+    std::lock_guard<std::mutex> lk(orphans_->mu);
+    for (auto &rn : orphans_->nodes) rn.deleter(rn.ptr);
+    orphans_->nodes.clear();
+  }
+  record *r = head_.load(std::memory_order_acquire);
+  while (r) {
+    record *next = r->next;
+    for (auto &rn : r->retired) rn.deleter(rn.ptr);
+    delete r;
+    r = next;
+  }
+  delete orphans_;
+  delete roots_;
+}
+
+hazard_domain &hazard_domain::global() noexcept {
+  static hazard_domain d;
+  return d;
+}
+
+// ---------------------------------------------------------------------------
+// Record acquisition / release.
+// ---------------------------------------------------------------------------
+
+hazard_domain::record *hazard_domain::acquire_record() {
+  tl_cache &c = cache();
+  if (record *r = c.find(this)) return r;
+
+  // Try to adopt an inactive record before allocating.
+  for (record *r = head_.load(std::memory_order_acquire); r; r = r->next) {
+    bool expected = false;
+    if (!r->active.load(std::memory_order_relaxed)) {
+      if (r->active.compare_exchange_strong(expected, true,
+                                            std::memory_order_acq_rel)) {
+        c.entries.push_back({this, uid_, r});
+        return r;
+      }
+    }
+  }
+
+  auto *r = new record;
+  for (auto &s : r->slots) s.store(nullptr, std::memory_order_relaxed);
+  r->active.store(true, std::memory_order_relaxed);
+  // Lock-free push onto the record list.
+  record *h = head_.load(std::memory_order_acquire);
+  do {
+    r->next = h;
+  } while (!head_.compare_exchange_weak(h, r, std::memory_order_acq_rel,
+                                        std::memory_order_acquire));
+  nrecords_.fetch_add(1, std::memory_order_relaxed);
+  c.entries.push_back({this, uid_, r});
+  return r;
+}
+
+void hazard_domain::release_record(record *rec) {
+  // Move leftover retirees to the orphan list so they are not stranded in an
+  // inactive record.
+  if (!rec->retired.empty()) {
+    std::lock_guard<std::mutex> lk(orphans_->mu);
+    orphans_->nodes.insert(orphans_->nodes.end(), rec->retired.begin(),
+                           rec->retired.end());
+    rec->retired.clear();
+  }
+  for (auto &s : rec->slots) s.store(nullptr, std::memory_order_release);
+  rec->used_mask = 0;
+  rec->active.store(false, std::memory_order_release);
+}
+
+// ---------------------------------------------------------------------------
+// Hazard slot guard.
+// ---------------------------------------------------------------------------
+
+hazard_domain::hazard::hazard(hazard_domain &d) noexcept {
+  rec_ = d.acquire_record();
+  // Find a free slot; the used mask is owner-thread-only state.
+  unsigned i = 0;
+  while (i < slots_per_record && (rec_->used_mask & (1u << i))) ++i;
+  SSQ_ASSERT(i < slots_per_record,
+             "thread exceeded max_hazards_per_thread simultaneous guards");
+  idx_ = i;
+  rec_->used_mask |= (1u << i);
+  slot_ = &rec_->slots[i];
+}
+
+hazard_domain::hazard::~hazard() noexcept {
+  slot_->store(nullptr, std::memory_order_release);
+  rec_->used_mask &= ~(1u << idx_);
+}
+
+// ---------------------------------------------------------------------------
+// Retirement and scanning.
+// ---------------------------------------------------------------------------
+
+void hazard_domain::retire(void *ptr, void (*deleter)(void *)) {
+  record *rec = acquire_record();
+  rec->retired.push_back({ptr, deleter});
+  diag::bump(diag::id::node_retire);
+  retired_estimate_.fetch_add(1, std::memory_order_relaxed);
+
+  // Amortized threshold: R >= H (total hazard slots) guarantees each scan
+  // frees at least R - H nodes.
+  const std::size_t threshold =
+      std::max<std::size_t>(64, 2 * slots_per_record *
+                                    nrecords_.load(std::memory_order_relaxed));
+  if (rec->retired.size() >= threshold) scan_with(rec);
+}
+
+std::size_t hazard_domain::scan() { return scan_with(acquire_record()); }
+
+std::size_t hazard_domain::scan_with(record *rec) {
+  diag::bump(diag::id::hp_scan);
+
+  // Adopt orphans first so exited threads' garbage participates.
+  {
+    std::lock_guard<std::mutex> lk(orphans_->mu);
+    if (!orphans_->nodes.empty()) {
+      rec->retired.insert(rec->retired.end(), orphans_->nodes.begin(),
+                          orphans_->nodes.end());
+      orphans_->nodes.clear();
+    }
+  }
+  if (rec->retired.empty()) return 0;
+
+  // Stage 1: snapshot every published hazard.
+  std::vector<const void *> hazards;
+  hazards.reserve(slots_per_record *
+                  nrecords_.load(std::memory_order_relaxed));
+  for (record *r = head_.load(std::memory_order_acquire); r; r = r->next) {
+    for (auto &s : r->slots) {
+      const void *p = s.load(std::memory_order_seq_cst);
+      if (p) hazards.push_back(p);
+    }
+  }
+  {
+    // External roots (see add_root): whatever they point at right now is
+    // reachable from shared state and must survive this scan.
+    std::lock_guard<std::mutex> lk(roots_->mu);
+    for (const auto *root : roots_->roots) {
+      const void *p = root->load(std::memory_order_seq_cst);
+      if (p) hazards.push_back(p);
+    }
+  }
+  std::sort(hazards.begin(), hazards.end());
+
+  // Stage 2: free everything not covered.
+  std::vector<retired_node> survivors;
+  survivors.reserve(hazards.size());
+  std::size_t freed = 0;
+  for (auto &rn : rec->retired) {
+    if (std::binary_search(hazards.begin(), hazards.end(),
+                           static_cast<const void *>(rn.ptr))) {
+      survivors.push_back(rn);
+    } else {
+      rn.deleter(rn.ptr);
+      ++freed;
+    }
+  }
+  rec->retired.swap(survivors);
+  retired_estimate_.fetch_sub(freed, std::memory_order_relaxed);
+  return freed;
+}
+
+std::size_t hazard_domain::drain() {
+  std::size_t total = 0;
+  for (;;) {
+    std::size_t freed = scan();
+    total += freed;
+    if (freed == 0) return total;
+  }
+}
+
+} // namespace ssq::mem

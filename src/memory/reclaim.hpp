@@ -1,0 +1,174 @@
+// Reclaimer policies and the two-party node lifecycle protocol.
+//
+// Every dual-structure template takes a Reclaimer policy parameter:
+//
+//   * hp_reclaimer   -- hazard pointers (the default; safe with parked
+//                       waiters, see memory/hazard.hpp)
+//   * deferred_reclaimer -- retire is a lock-free push onto a tombstone
+//                       list freed only at reclaimer destruction. Models
+//                       "GC for free" with zero per-scan cost; used by
+//                       bench/ablation_reclaim to price the safety of HP.
+//
+// A policy provides:
+//   struct slot {                         // per-pointer protection guard
+//     explicit slot(Reclaimer&);
+//     T* protect(const std::atomic<T*>&); // read + publish + validate
+//     void set(T*);                       // publish a pre-validated pointer
+//     void clear();
+//   };
+//   template <class Node> void retire(Node*); // free once unreferenced
+//   void quiesce();                           // tests: drain what's drainable
+//
+// -----------------------------------------------------------------------
+// Node lifecycle: waiters and unlinkers race to retire.
+//
+// A waiter's own node may be unlinked from the structure (by a fulfiller or
+// helper) while the waiter is still reading its fields -- the waiter holds no
+// hazard on its *own* node. life_cycle arbitrates: the node is retired by
+// whichever of {owner-release, unlink} happens second, and double-unlink
+// races (possible under stack helping) retire exactly once.
+// -----------------------------------------------------------------------
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <vector>
+
+#include "memory/hazard.hpp"
+#include "support/diagnostics.hpp"
+
+namespace ssq::mem {
+
+class life_cycle {
+  enum : std::uint8_t { unlinked_bit = 1, released_bit = 2 };
+
+ public:
+  // Node removed from the structure. Returns true iff the caller must
+  // retire the node (i.e. this is the first unlink and the owner is done).
+  bool mark_unlinked() noexcept {
+    auto old = bits_.fetch_or(unlinked_bit, std::memory_order_acq_rel);
+    if (old & unlinked_bit) return false; // someone else unlinked first
+    return (old & released_bit) != 0;
+  }
+
+  // Owner (the waiter that created the node) will never touch it again.
+  // Returns true iff the caller must retire the node.
+  bool mark_released() noexcept {
+    auto old = bits_.fetch_or(released_bit, std::memory_order_acq_rel);
+    SSQ_ASSERT((old & released_bit) == 0, "double owner release");
+    return (old & unlinked_bit) != 0;
+  }
+
+  // For nodes with no waiting owner (dummies, async producers' nodes):
+  // retire responsibility falls entirely on the unlinker.
+  void preset_released() noexcept {
+    bits_.store(released_bit, std::memory_order_relaxed);
+  }
+
+  bool is_unlinked() const noexcept {
+    return bits_.load(std::memory_order_acquire) & unlinked_bit;
+  }
+
+ private:
+  std::atomic<std::uint8_t> bits_{0};
+};
+
+// ---------------------------------------------------------------------------
+
+struct hp_reclaimer {
+  hazard_domain *dom = &hazard_domain::global();
+
+  class slot {
+   public:
+    explicit slot(hp_reclaimer &r) noexcept : h_(*r.dom) {}
+
+    template <typename T>
+    T *protect(const std::atomic<T *> &src) noexcept {
+      return h_.protect(src);
+    }
+    template <typename T>
+    void set(T *p) noexcept {
+      h_.set(p);
+    }
+    void clear() noexcept { h_.clear(); }
+
+   private:
+    hazard_domain::hazard h_;
+  };
+
+  template <typename Node>
+  void retire(Node *n) {
+    dom->retire(n);
+  }
+
+  void register_root(const std::atomic<void *> *root) { dom->add_root(root); }
+  void unregister_root(const std::atomic<void *> *root) {
+    dom->remove_root(root);
+  }
+
+  void quiesce() { dom->drain(); }
+};
+
+// ---------------------------------------------------------------------------
+
+struct deferred_reclaimer {
+  deferred_reclaimer() = default;
+  deferred_reclaimer(const deferred_reclaimer &) = delete;
+  deferred_reclaimer &operator=(const deferred_reclaimer &) = delete;
+
+  // Movable so structures can take a reclaimer by value. Move is only
+  // meaningful before concurrent use begins.
+  deferred_reclaimer(deferred_reclaimer &&other) noexcept
+      : head_(other.head_.exchange(nullptr, std::memory_order_acq_rel)) {}
+
+  ~deferred_reclaimer() {
+    tombstone *t = head_.load(std::memory_order_acquire);
+    while (t) {
+      tombstone *next = t->next;
+      t->deleter(t->ptr);
+      delete t;
+      t = next;
+    }
+  }
+
+  class slot {
+   public:
+    explicit slot(deferred_reclaimer &) noexcept {}
+
+    template <typename T>
+    T *protect(const std::atomic<T *> &src) noexcept {
+      return src.load(std::memory_order_acquire);
+    }
+    template <typename T>
+    void set(T *) noexcept {}
+    void clear() noexcept {}
+  };
+
+  template <typename Node>
+  void retire(Node *n) {
+    diag::bump(diag::id::node_retire);
+    auto *t = new tombstone{n, [](void *p) { delete static_cast<Node *>(p); },
+                            nullptr};
+    tombstone *h = head_.load(std::memory_order_acquire);
+    do {
+      t->next = h;
+    } while (!head_.compare_exchange_weak(h, t, std::memory_order_acq_rel,
+                                          std::memory_order_acquire));
+  }
+
+  void register_root(const std::atomic<void *> *) noexcept {}
+  void unregister_root(const std::atomic<void *> *) noexcept {}
+
+  void quiesce() noexcept {}
+
+ private:
+  struct tombstone {
+    void *ptr;
+    void (*deleter)(void *);
+    tombstone *next;
+  };
+  std::atomic<tombstone *> head_{nullptr};
+};
+
+} // namespace ssq::mem

@@ -1,0 +1,129 @@
+// Classic bounded buffer: the *asymmetric* concurrent queue the paper's
+// introduction contrasts synchronous queues against (§1: "producers can
+// 'run ahead' of consumers, but consumers cannot 'run ahead' of
+// producers").
+//
+// Deliberately the textbook monitor implementation (one mutex, two
+// condition variables, ring storage). It exists as (a) a behavioural
+// contrast in tests and bench/ablation_buffering, and (b) a baseline
+// channel for the executor examples.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <mutex>
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "support/config.hpp"
+#include "support/time.hpp"
+#include "sync/interrupt.hpp"
+
+namespace ssq {
+
+template <typename T>
+class bounded_buffer {
+ public:
+  explicit bounded_buffer(std::size_t capacity) : cap_(capacity) {
+    SSQ_ASSERT(capacity >= 1, "capacity must be positive");
+    ring_.resize(capacity);
+  }
+
+  // Blocks while full.
+  void put(T v) {
+    std::unique_lock<std::mutex> lk(mu_);
+    not_full_.wait(lk, [&] { return size_ < cap_; });
+    emplace_locked(std::move(v));
+    not_empty_.notify_one();
+  }
+
+  // Blocks while empty.
+  T take() {
+    std::unique_lock<std::mutex> lk(mu_);
+    not_empty_.wait(lk, [&] { return size_ > 0; });
+    T v = remove_locked();
+    not_full_.notify_one();
+    return v;
+  }
+
+  // Timed / non-blocking variants (deadline::expired() = try).
+  bool offer(T v, deadline dl = deadline::expired(),
+             sync::interrupt_token *tok = nullptr) {
+    return try_put_ref(v, dl, tok);
+  }
+
+  std::optional<T> poll(deadline dl = deadline::expired(),
+                        sync::interrupt_token *tok = nullptr) {
+    std::unique_lock<std::mutex> lk(mu_);
+    if (!wait_until(lk, not_empty_, dl, tok, [&] { return size_ > 0; }))
+      return std::nullopt;
+    T v = remove_locked();
+    not_full_.notify_one();
+    return v;
+  }
+
+  // Executor hook: hand the value back on failure.
+  bool try_put_ref(T &v, deadline dl = deadline::expired(),
+                   sync::interrupt_token *tok = nullptr) {
+    std::unique_lock<std::mutex> lk(mu_);
+    if (!wait_until(lk, not_full_, dl, tok, [&] { return size_ < cap_; }))
+      return false;
+    emplace_locked(std::move(v));
+    not_empty_.notify_one();
+    return true;
+  }
+
+  std::size_t size() const {
+    std::lock_guard<std::mutex> lk(mu_);
+    return size_;
+  }
+  std::size_t capacity() const noexcept { return cap_; }
+
+ private:
+  void emplace_locked(T v) {
+    ring_[tail_] = std::move(v);
+    tail_ = (tail_ + 1) % cap_;
+    ++size_;
+  }
+
+  T remove_locked() {
+    T v = std::move(*ring_[head_]);
+    ring_[head_].reset();
+    head_ = (head_ + 1) % cap_;
+    --size_;
+    return v;
+  }
+
+  // Condvar wait honoring both the caller's deadline and (coarsely) the
+  // interrupt token.
+  template <typename Pred>
+  bool wait_until(std::unique_lock<std::mutex> &lk,
+                  std::condition_variable &cv, deadline dl,
+                  sync::interrupt_token *tok, Pred ready) {
+    for (;;) {
+      if (ready()) return true;
+      if (tok && tok->interrupted()) return false;
+      if (dl == deadline::expired() || dl.expired_now()) return false;
+      deadline chunk = dl;
+      if (tok) {
+        deadline q = deadline::in(sync::interrupt_token::park_quantum());
+        if (q.when() < dl.when()) chunk = q;
+      }
+      if (chunk.is_unbounded()) {
+        cv.wait(lk);
+      } else {
+        cv.wait_until(lk, chunk.when());
+      }
+    }
+  }
+
+  const std::size_t cap_;
+  mutable std::mutex mu_;
+  std::condition_variable not_full_;
+  std::condition_variable not_empty_;
+  std::vector<std::optional<T>> ring_;
+  std::size_t head_ = 0, tail_ = 0, size_ = 0;
+};
+
+} // namespace ssq

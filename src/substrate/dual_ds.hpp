@@ -1,0 +1,100 @@
+// The non-synchronous dual data structures of Scherer & Scott (DISC 2004) --
+// the immediate ancestors of the paper's algorithms (§3.3: "our previous
+// nonblocking dual queue and dual stack algorithms").
+//
+// In these, consumers wait (a dequeue on an empty structure installs a
+// reservation), but producers never do: an enqueue either fulfills the
+// oldest/topmost reservation or deposits data and returns. That is exactly
+// the synchronous transfer cores running producers in wait_kind::async, so
+// these wrappers share all of their machinery -- which is also the paper's
+// own observation, made in the other direction ("the nonsynchronous dual
+// data structures already block when a consumer arrives before a producer;
+// our challenge is to arrange for producers to block ... as well").
+#pragma once
+
+#include <optional>
+#include <utility>
+
+#include "core/transfer_queue.hpp"
+#include "core/transfer_stack.hpp"
+#include "core/wait_kind.hpp"
+#include "support/codec.hpp"
+
+namespace ssq {
+
+// FIFO dual queue: dequeue requests are served in arrival order.
+template <typename T, typename Reclaimer = mem::hp_reclaimer>
+class dual_queue_ds {
+  using codec = item_codec<T>;
+
+ public:
+  dual_queue_ds() { core_.set_token_disposer(&dispose_token); }
+
+  // Never blocks.
+  void enqueue(T v) {
+    core_.xfer(codec::encode(std::move(v)), true, wait_kind::async);
+  }
+
+  // Blocks until data is available (the "demand" form of the dual method).
+  T dequeue() {
+    item_token r = core_.xfer(empty_token, false, wait_kind::sync);
+    return codec::decode_consume(r);
+  }
+
+  // The totalized form: fails immediately when no data is present.
+  std::optional<T> try_dequeue() {
+    item_token r = core_.xfer(empty_token, false, wait_kind::now);
+    if (r == empty_token) return std::nullopt;
+    return codec::decode_consume(r);
+  }
+
+  std::optional<T> try_dequeue(deadline dl) {
+    item_token r = core_.xfer(empty_token, false, wait_kind::timed, dl);
+    if (r == empty_token) return std::nullopt;
+    return codec::decode_consume(r);
+  }
+
+  bool is_empty() const noexcept { return core_.is_empty(); }
+
+ private:
+  static void dispose_token(item_token t) { codec::dispose(t); }
+  transfer_queue<Reclaimer> core_;
+};
+
+// LIFO dual stack: a pop request is served by the next push.
+template <typename T, typename Reclaimer = mem::hp_reclaimer>
+class dual_stack_ds {
+  using codec = item_codec<T>;
+
+ public:
+  dual_stack_ds() { core_.set_token_disposer(&dispose_token); }
+
+  void push(T v) {
+    core_.xfer(codec::encode(std::move(v)), true, wait_kind::async);
+  }
+
+  T pop() {
+    item_token r = core_.xfer(empty_token, false, wait_kind::sync);
+    return codec::decode_consume(r);
+  }
+
+  std::optional<T> try_pop() {
+    item_token r = core_.xfer(empty_token, false, wait_kind::now);
+    if (r == empty_token) return std::nullopt;
+    return codec::decode_consume(r);
+  }
+
+  std::optional<T> try_pop(deadline dl) {
+    item_token r = core_.xfer(empty_token, false, wait_kind::timed, dl);
+    if (r == empty_token) return std::nullopt;
+    return codec::decode_consume(r);
+  }
+
+  bool is_empty() const noexcept { return core_.is_empty(); }
+
+ private:
+  static void dispose_token(item_token t) { codec::dispose(t); }
+  transfer_stack<Reclaimer> core_;
+};
+
+} // namespace ssq

@@ -1,0 +1,112 @@
+// Elimination-backoff stack (Hendler, Shavit & Yerushalmi, SPAA 2004 --
+// the paper's ref 4, cited in §5 as the stack-world success story for the
+// elimination technique the authors consider for synchronous queues).
+//
+// A Treiber stack whose contention path diverts to a collision arena: a
+// push and a pop that meet there cancel out ("a concurrent push and pop on
+// a stack ... collectively effect no change"), which is linearizable as the
+// push immediately followed by the pop. Under low contention the arena is
+// never touched; under high contention it turns the head-CAS hot spot into
+// parallel throughput.
+#pragma once
+
+#include <atomic>
+#include <optional>
+#include <utility>
+
+#include "core/elimination_arena.hpp"
+#include "memory/epoch.hpp"
+#include "support/cacheline.hpp"
+#include "support/codec.hpp"
+#include "support/diagnostics.hpp"
+
+namespace ssq {
+
+template <typename T>
+class elimination_backoff_stack {
+  using codec = item_codec<T>;
+
+ public:
+  explicit elimination_backoff_stack(
+      nanoseconds arena_patience = std::chrono::microseconds(5),
+      mem::epoch_domain &dom = mem::epoch_domain::global())
+      : dom_(dom), patience_(arena_patience) {}
+
+  ~elimination_backoff_stack() {
+    node *n = head_.value.load(std::memory_order_relaxed);
+    while (n) {
+      node *next = n->next;
+      delete n;
+      n = next;
+    }
+  }
+
+  elimination_backoff_stack(const elimination_backoff_stack &) = delete;
+  elimination_backoff_stack &operator=(const elimination_backoff_stack &) =
+      delete;
+
+  void push(T v) {
+    auto *n = new node{std::move(v), nullptr};
+    diag::bump(diag::id::node_alloc);
+    for (;;) {
+      node *h = head_.value.load(std::memory_order_acquire);
+      n->next = h;
+      if (head_.value.compare_exchange_weak(h, n, std::memory_order_acq_rel,
+                                            std::memory_order_acquire))
+        return;
+      diag::bump(diag::id::cas_fail);
+      // Contention: try to hand the value straight to a colliding pop.
+      item_token t = codec::encode(std::move(n->value));
+      if (arena_.try_eliminate(t, true, deadline::in(patience_),
+                               sync::spin_policy::adaptive()) != empty_token) {
+        delete n;
+        diag::bump(diag::id::node_free);
+        return; // eliminated: a pop consumed our value directly
+      }
+      n->value = codec::decode_consume(t); // reclaim it and retry the stack
+    }
+  }
+
+  std::optional<T> pop() {
+    for (;;) {
+      {
+        // Epoch pin covers only the stack attempt -- the arena may park,
+        // and parking while pinned would stall domain-wide reclamation.
+        mem::epoch_domain::guard g(dom_);
+        node *h = head_.value.load(std::memory_order_acquire);
+        if (h == nullptr) return std::nullopt; // empty is empty, no waiting
+        node *next = h->next;
+        if (head_.value.compare_exchange_weak(h, next,
+                                              std::memory_order_acq_rel,
+                                              std::memory_order_acquire)) {
+          T v = std::move(h->value);
+          dom_.retire(h);
+          return v;
+        }
+        diag::bump(diag::id::cas_fail);
+      }
+      // Contention: try to catch a colliding push in the arena.
+      item_token r = arena_.try_eliminate(empty_token, false,
+                                          deadline::in(patience_),
+                                          sync::spin_policy::adaptive());
+      if (r != empty_token) return codec::decode_consume(r);
+    }
+  }
+
+  bool empty() const noexcept {
+    return head_.value.load(std::memory_order_acquire) == nullptr;
+  }
+
+ private:
+  struct node {
+    T value;
+    node *next;
+  };
+
+  mem::epoch_domain &dom_;
+  nanoseconds patience_;
+  elimination_arena<8> arena_;
+  padded_atomic<node *> head_{};
+};
+
+} // namespace ssq

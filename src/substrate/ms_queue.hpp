@@ -1,0 +1,118 @@
+// The Michael & Scott non-blocking FIFO queue (PODC 1996).
+//
+// The synchronous dual queue (core/transfer_queue.hpp) is derived from this
+// structure (paper §3.3: "derived from ... the M&S queue"). The dummy-node
+// discipline, tail-lag helping, and retire-on-head-advance protocol here are
+// exactly the ones the dual queue extends with reservations.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <optional>
+#include <utility>
+
+#include "memory/epoch.hpp"
+#include "support/cacheline.hpp"
+#include "support/diagnostics.hpp"
+
+namespace ssq {
+
+template <typename T>
+class ms_queue {
+ public:
+  explicit ms_queue(mem::epoch_domain &dom = mem::epoch_domain::global())
+      : dom_(dom) {
+    auto *dummy = new node{};
+    diag::bump(diag::id::node_alloc);
+    head_.value.store(dummy, std::memory_order_relaxed);
+    tail_.value.store(dummy, std::memory_order_relaxed);
+  }
+
+  ~ms_queue() {
+    node *n = head_.value.load(std::memory_order_relaxed);
+    while (n) {
+      node *next = n->next.load(std::memory_order_relaxed);
+      if (n->has_value) n->storage().~T();
+      delete n;
+      n = next;
+    }
+  }
+
+  ms_queue(const ms_queue &) = delete;
+  ms_queue &operator=(const ms_queue &) = delete;
+
+  void enqueue(T v) {
+    auto *n = new node;
+    diag::bump(diag::id::node_alloc);
+    new (&n->buf) T(std::move(v));
+    n->has_value = true;
+
+    mem::epoch_domain::guard g(dom_);
+    for (;;) {
+      node *t = tail_.value.load(std::memory_order_acquire);
+      node *next = t->next.load(std::memory_order_acquire);
+      if (t != tail_.value.load(std::memory_order_seq_cst)) continue;
+      if (next != nullptr) {
+        // Tail is lagging; help swing it.
+        tail_.value.compare_exchange_strong(t, next,
+                                            std::memory_order_acq_rel);
+        continue;
+      }
+      node *expected = nullptr;
+      if (t->next.compare_exchange_strong(expected, n,
+                                          std::memory_order_acq_rel)) {
+        tail_.value.compare_exchange_strong(t, n, std::memory_order_acq_rel);
+        return;
+      }
+      diag::bump(diag::id::cas_fail);
+    }
+  }
+
+  std::optional<T> dequeue() {
+    mem::epoch_domain::guard g(dom_);
+    for (;;) {
+      node *h = head_.value.load(std::memory_order_acquire);
+      node *t = tail_.value.load(std::memory_order_acquire);
+      node *next = h->next.load(std::memory_order_acquire);
+      if (h != head_.value.load(std::memory_order_seq_cst)) continue;
+      if (next == nullptr) return std::nullopt; // empty (dummy only)
+      if (h == t) {
+        // Tail lagging behind a non-empty queue; help.
+        tail_.value.compare_exchange_strong(t, next,
+                                            std::memory_order_acq_rel);
+        continue;
+      }
+      // Read the value *before* swinging head: after the CAS another thread
+      // may dequeue-and-retire next's successor chain arbitrarily fast, but
+      // `next` itself stays valid while we are pinned.
+      if (head_.value.compare_exchange_strong(h, next,
+                                              std::memory_order_acq_rel)) {
+        T v = std::move(next->storage());
+        // `next` is the new dummy; the *old* dummy h is now unreachable.
+        dom_.retire(h);
+        return v;
+      }
+      diag::bump(diag::id::cas_fail);
+    }
+  }
+
+  bool empty() const noexcept {
+    node *h = head_.value.load(std::memory_order_acquire);
+    return h->next.load(std::memory_order_acquire) == nullptr;
+  }
+
+ private:
+  struct node {
+    alignas(T) unsigned char buf[sizeof(T)];
+    bool has_value = false;
+    std::atomic<node *> next{nullptr};
+
+    T &storage() noexcept { return *reinterpret_cast<T *>(buf); }
+  };
+
+  mem::epoch_domain &dom_;
+  padded_atomic<node *> head_{};
+  padded_atomic<node *> tail_{};
+};
+
+} // namespace ssq

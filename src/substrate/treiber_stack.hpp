@@ -1,0 +1,90 @@
+// Treiber's lock-free stack (IBM RJ 5118, 1986).
+//
+// The synchronous dual stack (core/transfer_stack.hpp) is derived from this
+// structure (paper §3.3: "those in turn were derived from the classic Treiber
+// stack"). It also serves as a standalone substrate and as the subject of the
+// EBR-vs-HP reclamation ablation.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <optional>
+#include <utility>
+
+#include "memory/epoch.hpp"
+#include "support/cacheline.hpp"
+#include "support/diagnostics.hpp"
+
+namespace ssq {
+
+template <typename T>
+class treiber_stack {
+ public:
+  explicit treiber_stack(mem::epoch_domain &dom = mem::epoch_domain::global())
+      : dom_(dom) {}
+
+  ~treiber_stack() {
+    // Single-threaded teardown: free whatever is still linked.
+    node *n = head_.value.load(std::memory_order_relaxed);
+    while (n) {
+      node *next = n->next;
+      delete n;
+      n = next;
+    }
+  }
+
+  treiber_stack(const treiber_stack &) = delete;
+  treiber_stack &operator=(const treiber_stack &) = delete;
+
+  void push(T v) {
+    auto *n = new node{std::move(v), nullptr};
+    diag::bump(diag::id::node_alloc);
+    node *h = head_.value.load(std::memory_order_acquire);
+    do {
+      n->next = h;
+    } while (!head_.value.compare_exchange_weak(h, n,
+                                                std::memory_order_acq_rel,
+                                                std::memory_order_acquire));
+  }
+
+  std::optional<T> pop() {
+    mem::epoch_domain::guard g(dom_);
+    node *h = head_.value.load(std::memory_order_acquire);
+    for (;;) {
+      if (!h) return std::nullopt;
+      node *next = h->next; // safe: h cannot be freed while we are pinned
+      if (head_.value.compare_exchange_weak(h, next,
+                                            std::memory_order_acq_rel,
+                                            std::memory_order_acquire)) {
+        T v = std::move(h->value);
+        dom_.retire(h);
+        return v;
+      }
+      diag::bump(diag::id::cas_fail);
+    }
+  }
+
+  bool empty() const noexcept {
+    return head_.value.load(std::memory_order_acquire) == nullptr;
+  }
+
+  // O(n), single-snapshot-free; for tests and teardown checks only.
+  std::size_t unsafe_size() const noexcept {
+    std::size_t n = 0;
+    for (node *p = head_.value.load(std::memory_order_acquire); p;
+         p = p->next)
+      ++n;
+    return n;
+  }
+
+ private:
+  struct node {
+    T value;
+    node *next;
+  };
+
+  mem::epoch_domain &dom_;
+  padded_atomic<node *> head_{};
+};
+
+} // namespace ssq

@@ -1,0 +1,46 @@
+// Cache-line padding helpers.
+//
+// The paper attributes much of the cost of classic synchronous queues to
+// contention: threads bouncing the cache lines that hold head/tail pointers
+// and semaphore counters. We cannot remove algorithmic contention, but we can
+// avoid *false* sharing between unrelated hot words by giving each its own
+// line.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+#include "support/config.hpp"
+
+namespace ssq {
+
+// A value padded out to occupy at least one full cache line, so that two
+// adjacent padded<T> members never share a line.
+template <typename T>
+struct alignas(cacheline_size) padded {
+  T value{};
+
+  padded() = default;
+  explicit padded(T v) : value(std::move(v)) {}
+
+  T &operator*() noexcept { return value; }
+  const T &operator*() const noexcept { return value; }
+  T *operator->() noexcept { return &value; }
+  const T *operator->() const noexcept { return &value; }
+
+ private:
+  // Guarantee the footprint even when sizeof(T) is a multiple of the line.
+  char pad_[cacheline_size - (sizeof(T) % cacheline_size)];
+};
+
+static_assert(sizeof(padded<std::atomic<void *>>) == cacheline_size);
+static_assert(alignof(padded<char>) == cacheline_size);
+
+// Shorthand for the most common case: a padded atomic.
+template <typename T>
+using padded_atomic = padded<std::atomic<T>>;
+
+} // namespace ssq

@@ -1,0 +1,34 @@
+// Basic configuration knobs and assertion macro for the ssq library.
+#pragma once
+
+#include <cstddef>
+#include <cstdio>
+#include <cstdlib>
+
+namespace ssq {
+
+// Size used to pad hot shared variables onto their own cache line. 64 bytes
+// covers x86-64 and most ARM implementations; we deliberately do not use
+// std::hardware_destructive_interference_size because GCC warns that its
+// value is ABI-unstable across -mtune flags.
+inline constexpr std::size_t cacheline_size = 64;
+
+// Number of hazard-pointer slots each thread may hold simultaneously. The
+// deepest traversal in the library (transfer_queue::clean) pins at most five
+// nodes at once; eight leaves headroom for composition.
+inline constexpr std::size_t max_hazards_per_thread = 8;
+
+} // namespace ssq
+
+// Internal invariant check: enabled in all build types (the library is a
+// research artifact; a silent invariant violation would invalidate results).
+// Costs a predictable branch on paths where it appears; kept off the hot
+// CAS loops.
+#define SSQ_ASSERT(cond, msg)                                              \
+  do {                                                                     \
+    if (!(cond)) [[unlikely]] {                                            \
+      std::fprintf(stderr, "ssq invariant violated: %s (%s:%d): %s\n",     \
+                   #cond, __FILE__, __LINE__, msg);                        \
+      std::abort();                                                        \
+    }                                                                      \
+  } while (0)

@@ -1,0 +1,34 @@
+#include "support/diagnostics.hpp"
+
+#include "support/cacheline.hpp"
+
+namespace ssq::diag {
+
+namespace {
+// Each counter on its own cache line: these are written from hot-ish paths
+// and must not create false sharing among themselves.
+padded_atomic<std::uint64_t> g_counters[id_count];
+} // namespace
+
+std::atomic<std::uint64_t> &counter(id which) noexcept {
+  return g_counters[static_cast<unsigned>(which)].value;
+}
+
+void reset_all() noexcept {
+  for (auto &c : g_counters) c.value.store(0, std::memory_order_relaxed);
+}
+
+snapshot snapshot::take() noexcept {
+  snapshot s;
+  for (unsigned i = 0; i < id_count; ++i)
+    s.v[i] = g_counters[i].value.load(std::memory_order_relaxed);
+  return s;
+}
+
+snapshot snapshot::operator-(const snapshot &rhs) const noexcept {
+  snapshot s;
+  for (unsigned i = 0; i < id_count; ++i) s.v[i] = v[i] - rhs.v[i];
+  return s;
+}
+
+} // namespace ssq::diag

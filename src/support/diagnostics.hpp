@@ -1,0 +1,59 @@
+// Process-global diagnostic counters.
+//
+// Tests use these to assert *quantitative* properties that black-box
+// functional tests cannot see: that retired nodes are eventually freed, that
+// the cancelled-node cleaning strategy keeps garbage bounded under offer
+// storms, that the spin-then-park policy actually parks (or doesn't). All
+// increments are relaxed; the counters are a measurement aid, not a
+// synchronization mechanism.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+namespace ssq::diag {
+
+enum class id : unsigned {
+  node_alloc,   // dual-structure nodes constructed
+  node_free,    // dual-structure nodes actually deallocated
+  node_retire,  // nodes handed to a reclamation domain
+  box_alloc,    // item boxes from item_codec
+  box_free,
+  hp_scan,      // hazard-pointer domain scans
+  epoch_flush,  // epoch domain limbo-list flushes
+  park,         // threads that actually blocked in the kernel
+  unpark,       // futex wakes issued
+  spin_retry,   // spin-loop iterations before a park
+  clean_call,   // transfer_queue/stack cancelled-node cleaning passes
+  clean_unlink, // cancelled nodes successfully unlinked
+  cas_fail,     // head/tail/item CAS failures (contention indicator)
+  count_        // sentinel
+};
+
+inline constexpr unsigned id_count = static_cast<unsigned>(id::count_);
+
+std::atomic<std::uint64_t> &counter(id which) noexcept;
+
+inline std::uint64_t read(id which) noexcept {
+  return counter(which).load(std::memory_order_relaxed);
+}
+
+inline void bump(id which, std::uint64_t n = 1) noexcept {
+  counter(which).fetch_add(n, std::memory_order_relaxed);
+}
+
+// Zero every counter (tests call this in SetUp).
+void reset_all() noexcept;
+
+// A point-in-time copy of all counters, with subtraction for deltas.
+struct snapshot {
+  std::uint64_t v[id_count]{};
+
+  static snapshot take() noexcept;
+  std::uint64_t operator[](id which) const noexcept {
+    return v[static_cast<unsigned>(which)];
+  }
+  snapshot operator-(const snapshot &rhs) const noexcept;
+};
+
+} // namespace ssq::diag

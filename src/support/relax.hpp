@@ -1,0 +1,24 @@
+// CPU relax hint for spin loops.
+#pragma once
+
+#if defined(__x86_64__) || defined(__i386__)
+#include <immintrin.h>
+#endif
+
+namespace ssq {
+
+// Hint to the processor that we are in a spin-wait loop. On x86 this is the
+// PAUSE instruction, which de-pipelines the loop and releases shared
+// execution resources on SMT siblings; elsewhere it degrades to a compiler
+// barrier.
+inline void cpu_relax() noexcept {
+#if defined(__x86_64__) || defined(__i386__)
+  _mm_pause();
+#elif defined(__aarch64__)
+  asm volatile("yield" ::: "memory");
+#else
+  asm volatile("" ::: "memory");
+#endif
+}
+
+} // namespace ssq

@@ -1,0 +1,70 @@
+// Deadline arithmetic for timed operations.
+//
+// All timed operations in the library ("patience", in the paper's terms) are
+// expressed as an absolute deadline on the steady clock, so that a wait that
+// is interrupted, retried, or split across spin and park phases never extends
+// the caller's total patience.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <limits>
+#include <optional>
+
+namespace ssq {
+
+using steady_clock = std::chrono::steady_clock;
+using time_point = steady_clock::time_point;
+using nanoseconds = std::chrono::nanoseconds;
+
+// An absolute point in time before which an operation must complete, or a
+// sentinel meaning "unbounded patience".
+class deadline {
+ public:
+  // Unbounded: never expires.
+  static deadline unbounded() noexcept { return deadline{time_point::max()}; }
+
+  // Already expired: used to express "do not wait at all" (poll/offer).
+  static deadline expired() noexcept { return deadline{time_point::min()}; }
+
+  // Expires `d` from now. Durations too large to represent saturate to
+  // unbounded (the comparison is done in floating point to avoid the
+  // integer overflow a duration_cast of, say, 10^9 hours would hit).
+  template <typename Rep, typename Period>
+  static deadline in(std::chrono::duration<Rep, Period> d) noexcept {
+    if (d <= d.zero()) return expired();
+    auto now = steady_clock::now();
+    using fsec = std::chrono::duration<double>;
+    const auto headroom =
+        std::chrono::duration_cast<fsec>(time_point::max() - now);
+    if (std::chrono::duration_cast<fsec>(d) >= headroom) return unbounded();
+    return deadline{now + std::chrono::duration_cast<nanoseconds>(d)};
+  }
+
+  static deadline at(time_point tp) noexcept { return deadline{tp}; }
+
+  bool is_unbounded() const noexcept { return when_ == time_point::max(); }
+
+  bool expired_now() const noexcept {
+    if (is_unbounded()) return false;
+    return steady_clock::now() >= when_;
+  }
+
+  // Time remaining; zero when expired, nanoseconds::max() when unbounded.
+  nanoseconds remaining() const noexcept {
+    if (is_unbounded()) return nanoseconds::max();
+    auto now = steady_clock::now();
+    if (now >= when_) return nanoseconds::zero();
+    return std::chrono::duration_cast<nanoseconds>(when_ - now);
+  }
+
+  time_point when() const noexcept { return when_; }
+
+  friend bool operator==(const deadline &, const deadline &) = default;
+
+ private:
+  explicit deadline(time_point tp) noexcept : when_(tp) {}
+  time_point when_;
+};
+
+} // namespace ssq

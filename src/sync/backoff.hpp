@@ -1,0 +1,36 @@
+// Randomized truncated-exponential backoff for CAS retry loops and for the
+// elimination arena.
+#pragma once
+
+#include <cstdint>
+
+#include "support/relax.hpp"
+#include "support/rng.hpp"
+
+namespace ssq::sync {
+
+class backoff {
+ public:
+  explicit backoff(std::uint64_t seed = 0x2545F4914F6CDD1DULL,
+                   unsigned min_delay = 4, unsigned max_delay = 1024) noexcept
+      : rng_(seed), limit_(min_delay), max_(max_delay) {}
+
+  // Wait a random number of relax iterations in [0, limit), then double the
+  // limit (truncated at max). Randomization decorrelates competing threads.
+  void pause() noexcept {
+    const auto n = rng_.below(limit_);
+    for (std::uint64_t i = 0; i < n; ++i) cpu_relax();
+    if (limit_ < max_) limit_ *= 2;
+  }
+
+  void reset() noexcept { limit_ = 4; }
+
+  unsigned current_limit() const noexcept { return limit_; }
+
+ private:
+  xoshiro256 rng_;
+  unsigned limit_;
+  unsigned max_;
+};
+
+} // namespace ssq::sync

@@ -1,0 +1,52 @@
+#include "sync/fair_lock.hpp"
+
+#include "support/diagnostics.hpp"
+#include "sync/futex.hpp"
+#include "sync/spin_policy.hpp"
+
+namespace ssq::sync {
+
+void fair_lock::lock() noexcept {
+  const std::uint32_t my = next_.value.fetch_add(1, std::memory_order_acq_rel);
+  // Brief spin: on a lightly loaded multiprocessor the ticket comes up
+  // almost immediately.
+  for (int i = 0; i < 128; ++i) {
+    if (serving_.value.load(std::memory_order_acquire) == my) return;
+    cpu_relax();
+  }
+  for (;;) {
+    std::uint32_t s = serving_.value.load(std::memory_order_acquire);
+    if (s == my) return;
+    diag::bump(diag::id::park);
+    // Everyone parks on the serving counter; unlock wakes all and the
+    // non-owners re-park. This herd is characteristic of FIFO locks under
+    // load and is part of the pathology being modeled.
+    futex_wait(&serving_.value, s, deadline::unbounded());
+  }
+}
+
+void fair_lock::unlock() noexcept {
+  serving_.value.fetch_add(1, std::memory_order_release);
+  diag::bump(diag::id::unpark);
+  futex_wake_all(&serving_.value);
+}
+
+bool fair_lock::try_lock() noexcept {
+  std::uint32_t s = serving_.value.load(std::memory_order_acquire);
+  std::uint32_t n = next_.value.load(std::memory_order_acquire);
+  if (s != n) return false; // held or queued
+  // Claim ticket s only if no one else takes it first.
+  return next_.value.compare_exchange_strong(n, n + 1,
+                                             std::memory_order_acq_rel,
+                                             std::memory_order_relaxed);
+}
+
+std::uint32_t fair_lock::queue_length() const noexcept {
+  std::uint32_t n = next_.value.load(std::memory_order_acquire);
+  std::uint32_t s = serving_.value.load(std::memory_order_acquire);
+  return n - s; // holder counts as 1
+}
+
+bool fair_lock::is_locked() const noexcept { return queue_length() != 0; }
+
+} // namespace ssq::sync

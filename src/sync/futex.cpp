@@ -1,0 +1,87 @@
+#include "sync/futex.hpp"
+
+#if defined(__linux__)
+#include <linux/futex.h>
+#include <sys/syscall.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <ctime>
+#else
+#include <thread>
+#endif
+
+namespace ssq::sync {
+
+#if defined(__linux__)
+
+namespace {
+
+long sys_futex(const void *addr, int op, std::uint32_t val,
+               const struct timespec *timeout, std::uint32_t val3) noexcept {
+  return syscall(SYS_futex, addr, op, val, timeout, nullptr, val3);
+}
+
+} // namespace
+
+futex_result futex_wait(const std::atomic<std::uint32_t> *addr,
+                        std::uint32_t expected, deadline dl) noexcept {
+  // FUTEX_WAIT_BITSET takes an *absolute* CLOCK_MONOTONIC timeout, which
+  // matches std::chrono::steady_clock on Linux. That lets us pass the
+  // caller's deadline straight through with no relative-time re-arithmetic
+  // on retries.
+  const struct timespec *tsp = nullptr;
+  struct timespec ts;
+  if (!dl.is_unbounded()) {
+    if (dl.expired_now()) return futex_result::timeout;
+    auto since_epoch = dl.when().time_since_epoch();
+    auto secs = std::chrono::duration_cast<std::chrono::seconds>(since_epoch);
+    ts.tv_sec = static_cast<time_t>(secs.count());
+    ts.tv_nsec = static_cast<long>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(since_epoch - secs)
+            .count());
+    tsp = &ts;
+  }
+  long rc = sys_futex(addr, FUTEX_WAIT_BITSET | FUTEX_PRIVATE_FLAG, expected,
+                      tsp, FUTEX_BITSET_MATCH_ANY);
+  if (rc == -1 && errno == ETIMEDOUT) return futex_result::timeout;
+  // 0 (woken), EAGAIN (value already changed), EINTR (signal): all mean the
+  // caller should re-check its condition.
+  return futex_result::woken;
+}
+
+void futex_wake_one(std::atomic<std::uint32_t> *addr) noexcept {
+  sys_futex(addr, FUTEX_WAKE | FUTEX_PRIVATE_FLAG, 1, nullptr, 0);
+}
+
+void futex_wake_all(std::atomic<std::uint32_t> *addr) noexcept {
+  sys_futex(addr, FUTEX_WAKE | FUTEX_PRIVATE_FLAG, INT32_MAX, nullptr, 0);
+}
+
+#else // portable fallback
+
+futex_result futex_wait(const std::atomic<std::uint32_t> *addr,
+                        std::uint32_t expected, deadline dl) noexcept {
+  if (dl.is_unbounded()) {
+    addr->wait(expected, std::memory_order_seq_cst);
+    return futex_result::woken;
+  }
+  // Timed fallback: bounded sleep-poll. Only used off-Linux.
+  while (addr->load(std::memory_order_seq_cst) == expected) {
+    if (dl.expired_now()) return futex_result::timeout;
+    std::this_thread::sleep_for(std::chrono::microseconds(100));
+  }
+  return futex_result::woken;
+}
+
+void futex_wake_one(std::atomic<std::uint32_t> *addr) noexcept {
+  addr->notify_one();
+}
+
+void futex_wake_all(std::atomic<std::uint32_t> *addr) noexcept {
+  addr->notify_all();
+}
+
+#endif
+
+} // namespace ssq::sync

@@ -1,0 +1,31 @@
+// Thin futex(2) wrappers with an absolute-deadline interface.
+//
+// The paper's implementation parks threads with LockSupport.park/unpark. Our
+// equivalent parks on a 32-bit word: futex on Linux, std::atomic::wait as a
+// portable fallback (untimed waits only; timed waits fall back to short
+// sleeps). Waiting on a *word we choose* rather than on the thread is what
+// lets us put the wait channel inside a hazard-protected node and sidestep
+// the thread-lifetime problem that Java solves with GC (see DESIGN.md).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+#include "support/time.hpp"
+
+namespace ssq::sync {
+
+enum class futex_result {
+  woken,    // a wake was issued (or the value had already changed)
+  timeout,  // the deadline passed
+};
+
+// Block while *addr == expected, until woken or `dl` expires. Spurious
+// returns are allowed (callers always re-check their condition).
+futex_result futex_wait(const std::atomic<std::uint32_t> *addr,
+                        std::uint32_t expected, deadline dl) noexcept;
+
+void futex_wake_one(std::atomic<std::uint32_t> *addr) noexcept;
+void futex_wake_all(std::atomic<std::uint32_t> *addr) noexcept;
+
+} // namespace ssq::sync

@@ -1,0 +1,17 @@
+#include "sync/interrupt.hpp"
+
+namespace ssq::sync {
+
+void interrupt_token::interrupt() noexcept {
+  gen_.fetch_add(1, std::memory_order_relaxed);
+  flag_.store(true, std::memory_order_release);
+}
+
+nanoseconds interrupt_token::park_quantum() noexcept {
+  // 2ms: small enough that shutdown feels immediate, large enough that an
+  // idle worker parked on a 60s keep-alive costs ~500 wakeups/s only while
+  // a token is attached (untimed/untokened parks never chunk).
+  return std::chrono::milliseconds(2);
+}
+
+} // namespace ssq::sync

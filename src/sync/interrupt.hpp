@@ -1,0 +1,52 @@
+// Cooperative interruption, modeling Java's Thread.interrupt() as used by
+// ThreadPoolExecutor to retire idle workers and implement shutdownNow().
+//
+// A blocking operation that is given an interrupt_token periodically observes
+// it while parked (bounded-quantum parking) and returns "interrupted" when
+// the flag is set. This is cooperative-only by design: asynchronously waking
+// an arbitrary parked thread would require the interrupter to dereference the
+// node the waiter parked on, whose lifetime the interrupter does not protect.
+// See DESIGN.md ("Substitutions").
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+#include "support/time.hpp"
+
+namespace ssq::sync {
+
+class interrupt_token {
+ public:
+  interrupt_token() = default;
+  interrupt_token(const interrupt_token &) = delete;
+  interrupt_token &operator=(const interrupt_token &) = delete;
+
+  // Request interruption. Threads blocked with this token observe it within
+  // one park quantum.
+  void interrupt() noexcept;
+
+  bool interrupted() const noexcept {
+    return flag_.load(std::memory_order_acquire);
+  }
+
+  // Clear and report the previous state (Java's Thread.interrupted()).
+  bool consume() noexcept {
+    return flag_.exchange(false, std::memory_order_acq_rel);
+  }
+
+  // How often a parked thread wakes to look at the flag.
+  static nanoseconds park_quantum() noexcept;
+
+  // Generation counter: lets tests verify delivery even when the flag is
+  // consumed concurrently.
+  std::uint64_t generation() const noexcept {
+    return gen_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<bool> flag_{false};
+  std::atomic<std::uint64_t> gen_{0};
+};
+
+} // namespace ssq::sync

@@ -1,0 +1,57 @@
+// Java-style monitor (mutex + condition variable, notify-all semantics):
+// the substrate for the naive synchronous queue of paper Listing 3.
+//
+// Kept intentionally faithful to Java monitors -- a single condition queue
+// per object, so every notify is a notifyAll -- because the naive baseline's
+// quadratic-wakeup pathology depends on it.
+#pragma once
+
+#include <condition_variable>
+#include <mutex>
+
+#include "support/time.hpp"
+
+namespace ssq::sync {
+
+class monitor {
+ public:
+  class scope {
+   public:
+    explicit scope(monitor &m) : lk_(m.mu_), mon_(m) {}
+
+    // Release the monitor and wait for a notification (Java's wait()).
+    void wait() { mon_.cv_.wait(lk_); }
+
+    // Returns false on deadline expiry (Java's wait(timeout)).
+    bool wait_until(deadline dl) {
+      if (dl.is_unbounded()) {
+        mon_.cv_.wait(lk_);
+        return true;
+      }
+      return mon_.cv_.wait_until(lk_, dl.when()) == std::cv_status::no_timeout;
+    }
+
+    // Java's notifyAll(). (There is deliberately no notify-one: a Java
+    // monitor cannot target a specific waiter, and the naive algorithm's
+    // cost model depends on that.)
+    void notify_all() { mon_.cv_.notify_all(); }
+
+   private:
+    std::unique_lock<std::mutex> lk_;
+    monitor &mon_;
+  };
+
+  // Run `body` while holding the monitor; body receives the scope for
+  // wait/notify.
+  template <typename F>
+  decltype(auto) synchronized(F &&body) {
+    scope s(*this);
+    return body(s);
+  }
+
+ private:
+  std::mutex mu_;
+  std::condition_variable cv_;
+};
+
+} // namespace ssq::sync

@@ -1,0 +1,139 @@
+// park_slot: an embeddable wait channel -- the library's replacement for
+// LockSupport.park/unpark (paper §3.3, "Pragmatics").
+//
+// A waiter whose precondition is not yet satisfied embeds a park_slot in the
+// node it published (the node's lifetime is protected by the reclamation
+// domain, so a fulfiller's late signal() can never touch freed memory -- the
+// property Java gets from GC).
+//
+// Usage is a guarded-wait idiom that prevents missed wakeups:
+//
+//     waiter:                         fulfiller:
+//       loop {                          CAS item word        (W)
+//         if (condition) break;         slot.signal();
+//         slot.prepare();
+//         if (condition) break;   // re-check after prepare
+//         slot.wait(dl);
+//       }
+//
+// prepare() publishes intent with sequentially consistent ordering; signal()
+// observes either the intent (and wakes the futex) or finds the slot idle, in
+// which case the waiter's post-prepare re-check is guaranteed to observe W.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+#include "support/diagnostics.hpp"
+#include "sync/futex.hpp"
+#include "sync/interrupt.hpp"
+#include "sync/spin_policy.hpp"
+
+namespace ssq::sync {
+
+class park_slot {
+  enum : std::uint32_t { idle = 0, armed = 1, signalled = 2 };
+
+ public:
+  park_slot() = default;
+  park_slot(const park_slot &) = delete;
+  park_slot &operator=(const park_slot &) = delete;
+
+  // Announce that this thread is about to block. Must be followed by a
+  // re-check of the waited-for condition before wait().
+  void prepare() noexcept { state_.store(armed, std::memory_order_seq_cst); }
+
+  enum class wait_result { woken, timeout, interrupted };
+
+  // Block until signal(), deadline expiry, or (if `tok` is given)
+  // interruption. Spurious woken returns are possible; callers re-check
+  // their condition in a loop.
+  wait_result wait(deadline dl, interrupt_token *tok = nullptr) noexcept {
+    if (tok && tok->interrupted()) return wait_result::interrupted;
+    diag::bump(diag::id::park);
+    for (;;) {
+      deadline chunk = dl;
+      if (tok) {
+        // Bounded-quantum parks so the interrupt flag is observed.
+        deadline q = deadline::in(interrupt_token::park_quantum());
+        if (q.when() < dl.when()) chunk = q;
+      }
+      futex_result r = futex_wait(&state_, armed, chunk);
+      if (tok && tok->interrupted()) return wait_result::interrupted;
+      if (state_.load(std::memory_order_seq_cst) != armed)
+        return wait_result::woken;
+      if (r == futex_result::timeout) {
+        if (dl.expired_now()) return wait_result::timeout;
+        continue; // only the interrupt-poll chunk expired
+      }
+      // Spurious kernel return with state still armed: report woken and let
+      // the caller's loop re-prepare.
+      return wait_result::woken;
+    }
+  }
+
+  // Wake the waiter, if any. Called by the fulfiller *after* it has made the
+  // waited-for condition true. Safe to call multiple times and when no
+  // waiter ever arrives.
+  void signal() noexcept {
+    if (state_.exchange(signalled, std::memory_order_seq_cst) == armed) {
+      diag::bump(diag::id::unpark);
+      futex_wake_all(&state_);
+    }
+  }
+
+  // Rearm for another wait episode (the guarded-wait loop calls prepare()
+  // each iteration, so an explicit reset is only needed when a slot is
+  // reused across logically distinct waits, e.g. pooled Java5 nodes).
+  void reset() noexcept { state_.store(idle, std::memory_order_seq_cst); }
+
+  bool was_signalled() const noexcept {
+    return state_.load(std::memory_order_seq_cst) == signalled;
+  }
+
+ private:
+  std::atomic<std::uint32_t> state_{idle};
+};
+
+// The complete spin-then-park wait loop shared by every blocking structure in
+// the library. Re-evaluates `done` (a nullary predicate returning bool)
+// until it holds, the deadline passes, or interruption is observed.
+//
+// `at_front` (nullary predicate) reports whether this waiter is next in line
+// for fulfillment; per the paper, only front waiters spin the long count.
+template <typename DonePred, typename FrontPred>
+park_slot::wait_result spin_then_park(park_slot &slot, DonePred done,
+                                      FrontPred at_front, spin_policy pol,
+                                      deadline dl,
+                                      interrupt_token *tok = nullptr) noexcept {
+  // Phase 1: spin.
+  if (pol.unbounded_spin()) {
+    for (int i = 0;; ++i) {
+      if (done()) return park_slot::wait_result::woken;
+      if (tok && tok->interrupted()) return park_slot::wait_result::interrupted;
+      if (!dl.is_unbounded() && dl.expired_now())
+        return park_slot::wait_result::timeout;
+      diag::bump(diag::id::spin_retry);
+      pol.relax(i);
+    }
+  }
+  int budget = at_front() ? pol.front_spins : pol.back_spins;
+  for (int i = 0; i < budget; ++i) {
+    if (done()) return park_slot::wait_result::woken;
+    if (tok && tok->interrupted()) return park_slot::wait_result::interrupted;
+    if (!dl.is_unbounded() && dl.expired_now())
+      return park_slot::wait_result::timeout;
+    diag::bump(diag::id::spin_retry);
+    pol.relax(i);
+  }
+  // Phase 2: park.
+  for (;;) {
+    if (done()) return park_slot::wait_result::woken;
+    slot.prepare();
+    if (done()) return park_slot::wait_result::woken;
+    auto r = slot.wait(dl, tok);
+    if (r != park_slot::wait_result::woken) return r;
+  }
+}
+
+} // namespace ssq::sync

@@ -1,0 +1,156 @@
+// Queue-based spin locks: MCS (Mellor-Crummey & Scott, the paper's ref 13)
+// and CLH (Craig; Landin & Hagersten).
+//
+// Why they are here: §2.2 defines contention-freedom relative to the
+// *local-spin* property of ref 13 -- each waiter spins only on a location
+// no other waiter writes. MCS realizes local spinning with explicit queue
+// nodes (each waiter spins on its own node's flag); CLH realizes it by
+// spinning on the *predecessor's* node. CLH is also the lock underneath
+// Java's AbstractQueuedSynchronizer, i.e. the machinery inside the Java 5
+// baseline's entry lock. bench/micro_primitives compares their uncontended
+// cost with std::mutex and the FIFO futex lock.
+//
+// These are spin locks (with a yield escape valve for oversubscribed
+// hosts): appropriate for short critical sections on multiprocessors,
+// pedagogical everywhere.
+#pragma once
+
+#include <atomic>
+#include <thread>
+
+#include "support/cacheline.hpp"
+#include "support/relax.hpp"
+
+namespace ssq::sync {
+
+// ---------------------------------------------------------------- MCS
+
+class mcs_lock {
+ public:
+  // Caller-provided queue node; must outlive the lock/unlock pair and is
+  // reusable afterwards. Stack allocation is the intended pattern:
+  //
+  //     mcs_lock::node n;
+  //     lk.lock(n);  ...critical section...  lk.unlock(n);
+  struct alignas(cacheline_size) node {
+    std::atomic<node *> next{nullptr};
+    std::atomic<bool> locked{false};
+  };
+
+  mcs_lock() = default;
+  mcs_lock(const mcs_lock &) = delete;
+  mcs_lock &operator=(const mcs_lock &) = delete;
+
+  void lock(node &n) noexcept {
+    n.next.store(nullptr, std::memory_order_relaxed);
+    n.locked.store(true, std::memory_order_relaxed);
+    node *pred = tail_.value.exchange(&n, std::memory_order_acq_rel);
+    if (pred == nullptr) return; // uncontended
+    pred->next.store(&n, std::memory_order_release);
+    // Local spin: only our own flag, written only by our predecessor.
+    for (int i = 0; n.locked.load(std::memory_order_acquire); ++i) {
+      if ((i & 63) == 63)
+        std::this_thread::yield(); // oversubscription escape
+      else
+        cpu_relax();
+    }
+  }
+
+  bool try_lock(node &n) noexcept {
+    n.next.store(nullptr, std::memory_order_relaxed);
+    n.locked.store(false, std::memory_order_relaxed);
+    node *expected = nullptr;
+    return tail_.value.compare_exchange_strong(expected, &n,
+                                               std::memory_order_acq_rel);
+  }
+
+  void unlock(node &n) noexcept {
+    node *succ = n.next.load(std::memory_order_acquire);
+    if (succ == nullptr) {
+      // Possibly last in queue: try to swing tail back to empty.
+      node *expected = &n;
+      if (tail_.value.compare_exchange_strong(expected, nullptr,
+                                              std::memory_order_acq_rel))
+        return;
+      // A successor is linking itself in; wait for the pointer.
+      do {
+        cpu_relax();
+        succ = n.next.load(std::memory_order_acquire);
+      } while (succ == nullptr);
+    }
+    succ->locked.store(false, std::memory_order_release);
+  }
+
+  bool is_locked() const noexcept {
+    return tail_.value.load(std::memory_order_acquire) != nullptr;
+  }
+
+ private:
+  padded_atomic<node *> tail_{};
+};
+
+// RAII guard for mcs_lock with an internal stack node.
+class mcs_guard {
+ public:
+  explicit mcs_guard(mcs_lock &lk) noexcept : lk_(lk) { lk_.lock(n_); }
+  ~mcs_guard() { lk_.unlock(n_); }
+  mcs_guard(const mcs_guard &) = delete;
+  mcs_guard &operator=(const mcs_guard &) = delete;
+
+ private:
+  mcs_lock &lk_;
+  mcs_lock::node n_;
+};
+
+// ---------------------------------------------------------------- CLH
+
+class clh_lock {
+  struct qnode {
+    std::atomic<bool> locked{false};
+    char pad[cacheline_size - sizeof(std::atomic<bool>)];
+  };
+
+ public:
+  // Per-thread handle holding the two nodes CLH recycles across
+  // acquisitions (a releaser donates its node to its successor's future).
+  class handle {
+    friend class clh_lock;
+    qnode *mine = new qnode;
+    qnode *pred = nullptr;
+
+   public:
+    handle() = default;
+    ~handle() { delete mine; }
+    handle(const handle &) = delete;
+    handle &operator=(const handle &) = delete;
+  };
+
+  clh_lock() { tail_.value.store(new qnode, std::memory_order_relaxed); }
+  ~clh_lock() { delete tail_.value.load(std::memory_order_relaxed); }
+  clh_lock(const clh_lock &) = delete;
+  clh_lock &operator=(const clh_lock &) = delete;
+
+  void lock(handle &h) noexcept {
+    h.mine->locked.store(true, std::memory_order_relaxed);
+    h.pred = tail_.value.exchange(h.mine, std::memory_order_acq_rel);
+    // Local spin on the predecessor's node (implicit queue).
+    for (int i = 0; h.pred->locked.load(std::memory_order_acquire); ++i) {
+      if ((i & 63) == 63)
+        std::this_thread::yield();
+      else
+        cpu_relax();
+    }
+  }
+
+  void unlock(handle &h) noexcept {
+    qnode *mine = h.mine;
+    h.mine = h.pred; // recycle the predecessor's (now quiescent) node
+    h.pred = nullptr;
+    mine->locked.store(false, std::memory_order_release);
+  }
+
+ private:
+  padded_atomic<qnode *> tail_;
+};
+
+} // namespace ssq::sync

@@ -1,0 +1,80 @@
+// Counting semaphore (futex-based, timed) -- the substrate for Hanson's
+// synchronous queue (paper Listing 1).
+//
+// Deliberately a *plain* semaphore: each acquire on the slow path costs a
+// read-modify-write plus a potential kernel block, and each release costs a
+// read-modify-write plus a potential kernel wake. Those per-operation costs
+// are exactly what the paper measures Hanson's algorithm paying three times
+// per transfer per side.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+#include "support/cacheline.hpp"
+#include "support/diagnostics.hpp"
+#include "sync/futex.hpp"
+#include "sync/spin_policy.hpp"
+
+namespace ssq::sync {
+
+class counting_semaphore {
+ public:
+  explicit counting_semaphore(std::uint32_t initial = 0) noexcept
+      : count_(initial) {}
+  counting_semaphore(const counting_semaphore &) = delete;
+  counting_semaphore &operator=(const counting_semaphore &) = delete;
+
+  // Decrement, blocking while the count is zero.
+  void acquire() noexcept { (void)try_acquire_until(deadline::unbounded()); }
+
+  // Decrement if the count is positive, without blocking.
+  bool try_acquire() noexcept {
+    std::uint32_t c = count_.load(std::memory_order_relaxed);
+    while (c > 0) {
+      if (count_.compare_exchange_weak(c, c - 1, std::memory_order_acquire,
+                                       std::memory_order_relaxed))
+        return true;
+    }
+    return false;
+  }
+
+  bool try_acquire_until(deadline dl) noexcept {
+    // Brief optimistic spin: cheap on a multiprocessor, skipped after the
+    // first kernel wait anyway.
+    for (int i = 0; i < 64; ++i) {
+      if (try_acquire()) return true;
+      cpu_relax();
+    }
+    for (;;) {
+      if (try_acquire()) return true;
+      diag::bump(diag::id::park);
+      if (futex_wait(&count_, 0, dl) == futex_result::timeout) {
+        // One last attempt: a release may have raced the timeout.
+        return try_acquire();
+      }
+    }
+  }
+
+  template <typename Rep, typename Period>
+  bool try_acquire_for(std::chrono::duration<Rep, Period> d) noexcept {
+    return try_acquire_until(deadline::in(d));
+  }
+
+  // Increment and wake one waiter if any.
+  void release() noexcept {
+    count_.fetch_add(1, std::memory_order_release);
+    diag::bump(diag::id::unpark);
+    futex_wake_one(&count_);
+  }
+
+  std::uint32_t value() const noexcept {
+    return count_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<std::uint32_t> count_;
+  char pad_[cacheline_size - sizeof(std::atomic<std::uint32_t>)];
+};
+
+} // namespace ssq::sync

@@ -1,0 +1,180 @@
+// Tests for the bounded buffer -- and for the §1 asymmetry contrast between
+// buffered and synchronous channels.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/synchronous_queue.hpp"
+#include "executor/thread_pool_executor.hpp"
+#include "substrate/bounded_buffer.hpp"
+
+using namespace ssq;
+
+TEST(BoundedBuffer, FifoSingleThreaded) {
+  bounded_buffer<int> b(8);
+  for (int i = 0; i < 8; ++i) b.put(i);
+  for (int i = 0; i < 8; ++i) EXPECT_EQ(b.take(), i);
+}
+
+TEST(BoundedBuffer, ProducersRunAheadUpToCapacity) {
+  // The paper's §1 asymmetry: producers do NOT wait until the buffer is
+  // full.
+  bounded_buffer<int> b(16);
+  std::atomic<int> produced{0};
+  std::thread p([&] {
+    for (int i = 0; i < 16; ++i) {
+      b.put(i);
+      produced.fetch_add(1);
+    }
+  });
+  p.join(); // must complete with no consumer at all
+  EXPECT_EQ(produced.load(), 16);
+  EXPECT_EQ(b.size(), 16u);
+  for (int i = 0; i < 16; ++i) (void)b.take();
+}
+
+TEST(BoundedBuffer, ProducerBlocksWhenFull) {
+  bounded_buffer<int> b(2);
+  b.put(1);
+  b.put(2);
+  std::atomic<bool> third_done{false};
+  std::thread p([&] {
+    b.put(3);
+    third_done.store(true);
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(30));
+  EXPECT_FALSE(third_done.load());
+  EXPECT_EQ(b.take(), 1);
+  p.join();
+  EXPECT_TRUE(third_done.load());
+}
+
+TEST(BoundedBuffer, ConsumerBlocksWhenEmpty) {
+  bounded_buffer<int> b(4);
+  std::atomic<bool> got{false};
+  std::thread c([&] {
+    EXPECT_EQ(b.take(), 9);
+    got.store(true);
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(30));
+  EXPECT_FALSE(got.load());
+  b.put(9);
+  c.join();
+}
+
+TEST(BoundedBuffer, OfferFailsWhenFullPollFailsWhenEmpty) {
+  bounded_buffer<int> b(1);
+  EXPECT_FALSE(b.poll().has_value());
+  EXPECT_TRUE(b.offer(1));
+  EXPECT_FALSE(b.offer(2));
+  EXPECT_EQ(*b.poll(), 1);
+}
+
+TEST(BoundedBuffer, TimedVariants) {
+  bounded_buffer<int> b(1);
+  b.put(1);
+  EXPECT_FALSE(b.offer(2, deadline::in(std::chrono::milliseconds(25))));
+  (void)b.take();
+  EXPECT_FALSE(b.poll(deadline::in(std::chrono::milliseconds(25))).has_value());
+  std::thread p([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    b.put(5);
+  });
+  auto v = b.poll(deadline::in(std::chrono::seconds(5)));
+  p.join();
+  ASSERT_TRUE(v.has_value());
+  EXPECT_EQ(*v, 5);
+}
+
+TEST(BoundedBuffer, InterruptAbortsWait) {
+  bounded_buffer<int> b(1);
+  sync::interrupt_token tok;
+  std::atomic<bool> aborted{false};
+  std::thread c([&] {
+    aborted.store(!b.poll(deadline::unbounded(), &tok).has_value());
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  tok.interrupt();
+  c.join();
+  EXPECT_TRUE(aborted.load());
+}
+
+TEST(BoundedBuffer, ConservationUnderConcurrency) {
+  bounded_buffer<std::uint64_t> b(32);
+  const int np = 3, nc = 3, per = 3000;
+  std::atomic<std::uint64_t> in{0}, out{0};
+  std::vector<std::thread> ts;
+  for (int p = 0; p < np; ++p)
+    ts.emplace_back([&, p] {
+      for (int i = 0; i < per; ++i) {
+        std::uint64_t v = static_cast<std::uint64_t>(p) * per + i + 1;
+        b.put(v);
+        in.fetch_add(v);
+      }
+    });
+  for (int c = 0; c < nc; ++c)
+    ts.emplace_back([&] {
+      for (int i = 0; i < per; ++i) out.fetch_add(b.take());
+    });
+  for (auto &t : ts) t.join();
+  EXPECT_EQ(in.load(), out.load());
+  EXPECT_EQ(b.size(), 0u);
+}
+
+TEST(BoundedBuffer, BoxedPayload) {
+  bounded_buffer<std::string> b(2);
+  b.put(std::string(512, 'k'));
+  EXPECT_EQ(b.take().size(), 512u);
+}
+
+TEST(BoundedBuffer, WorksAsExecutorChannel) {
+  // A bounded buffer also satisfies HandoffChannel; with a buffer the
+  // pool-growth heuristic changes character (offers succeed while no
+  // worker is idle) -- the executor's zero-worker recheck must cover it.
+  thread_pool_executor<bounded_buffer<unique_task>> *ex;
+  // bounded_buffer lacks a default ctor; the executor owns its channel, so
+  // wrap it in a default-constructible adapter.
+  struct chan : bounded_buffer<unique_task> {
+    chan() : bounded_buffer<unique_task>(64) {}
+  };
+  thread_pool_executor<chan> pool({0, 8, std::chrono::milliseconds(200)});
+  (void)ex;
+  std::atomic<int> done{0};
+  for (int i = 0; i < 200; ++i) pool.submit([&] { done++; });
+  while (done.load() < 200) std::this_thread::yield();
+  EXPECT_EQ(pool.completed_count(), 200u);
+}
+
+// The §1 contrast, measured: through a synchronous queue a fast producer
+// and slow consumer proceed in lock-step; through a buffer the producer
+// finishes long before the consumer.
+TEST(BufferingContrast, ProducersRunAheadOnlyWithBuffering) {
+  const int n = 50;
+  std::atomic<int> buffered_produced{0}, sync_produced{0};
+
+  bounded_buffer<int> buf(n);
+  std::thread bp([&] {
+    for (int i = 0; i < n; ++i) {
+      buf.put(i);
+      buffered_produced.fetch_add(1);
+    }
+  });
+  bp.join();
+  EXPECT_EQ(buffered_produced.load(), n) << "buffered producer ran ahead";
+
+  unfair_synchronous_queue<int> sq;
+  std::thread sp([&] {
+    for (int i = 0; i < n; ++i) {
+      sq.put(i);
+      sync_produced.fetch_add(1);
+    }
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(40));
+  EXPECT_LE(sync_produced.load(), 1) << "synchronous producer cannot run ahead";
+  for (int i = 0; i < n; ++i) (void)sq.take();
+  sp.join();
+  for (int i = 0; i < n; ++i) (void)buf.take();
+}

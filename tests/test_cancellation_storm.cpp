@@ -1,0 +1,146 @@
+// Adversarial cancellation storms -- the workload class that exposed the
+// stale-predecessor splice bug fixed by the freeze-before-unlink protocol
+// (docs/algorithms.md §4.1 Rule 3). These tests run the pattern hard, in
+// both directions, on both structures, and verify full reclamation
+// afterwards.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "core/synchronous_queue.hpp"
+#include "core/transfer_queue.hpp"
+#include "core/transfer_stack.hpp"
+#include "support/diagnostics.hpp"
+
+using namespace ssq;
+
+namespace {
+
+item_token tok_of(int v) { return item_codec<int>::encode(v); }
+
+// Hammer a structure with micro-patience timed ops from both sides plus a
+// trickle of real traffic; conservation and reclamation must survive.
+template <typename Core>
+void storm(Core &core, int threads, int iters) {
+  std::atomic<long> in{0}, out{0};
+  std::atomic<int> net{0}; // successful puts minus successful takes
+  std::vector<std::thread> ts;
+  for (int t = 0; t < threads; ++t) {
+    ts.emplace_back([&, t] {
+      for (int i = 0; i < iters; ++i) {
+        if ((t + i) % 2 == 0) {
+          int v = t * iters + i + 1;
+          item_token tk = tok_of(v);
+          item_token r =
+              core.xfer(tk, true, wait_kind::timed,
+                        deadline::in(std::chrono::microseconds(15 + i % 40)));
+          if (r != empty_token) {
+            in.fetch_add(v);
+            net.fetch_add(1);
+          }
+        } else {
+          item_token r =
+              core.xfer(empty_token, false, wait_kind::timed,
+                        deadline::in(std::chrono::microseconds(15 + i % 40)));
+          if (r != empty_token) {
+            out.fetch_add(item_codec<int>::decode_consume(r));
+            net.fetch_sub(1);
+          }
+        }
+      }
+    });
+  }
+  for (auto &t : ts) t.join();
+  // Every successful put paired with exactly one successful take.
+  EXPECT_EQ(net.load(), 0);
+  EXPECT_EQ(in.load(), out.load());
+  EXPECT_LE(core.unsafe_length(), 32u) << "cancelled-node buildup";
+}
+
+} // namespace
+
+TEST(CancellationStorm, QueueBothDirections) {
+  transfer_queue<> q;
+  storm(q, 6, 4000);
+}
+
+TEST(CancellationStorm, StackBothDirections) {
+  transfer_stack<> s;
+  storm(s, 6, 4000);
+}
+
+TEST(CancellationStorm, QueueRepeatedRounds) {
+  // Fresh queue per round: exercises construction/teardown interleaved
+  // with domain reuse (the uid-guarded thread caches).
+  for (int round = 0; round < 5; ++round) {
+    transfer_queue<> q;
+    storm(q, 4, 1500);
+  }
+}
+
+TEST(CancellationStorm, StackRepeatedRounds) {
+  for (int round = 0; round < 5; ++round) {
+    transfer_stack<> s;
+    storm(s, 4, 1500);
+  }
+}
+
+TEST(CancellationStorm, QueueFullReclamation) {
+  diag::reset_all();
+  {
+    mem::hazard_domain dom;
+    transfer_queue<> q(sync::spin_policy::adaptive(), mem::hp_reclaimer{&dom});
+    storm(q, 4, 3000);
+    dom.drain();
+  }
+  EXPECT_EQ(diag::read(diag::id::node_alloc), diag::read(diag::id::node_free));
+}
+
+TEST(CancellationStorm, StackFullReclamation) {
+  diag::reset_all();
+  {
+    mem::hazard_domain dom;
+    transfer_stack<> s(sync::spin_policy::adaptive(), mem::hp_reclaimer{&dom});
+    storm(s, 4, 3000);
+    dom.drain();
+  }
+  EXPECT_EQ(diag::read(diag::id::node_alloc), diag::read(diag::id::node_free));
+}
+
+TEST(CancellationStorm, FacadeSurvivesInterruptStorm) {
+  // Interrupt-heavy variant through the typed facade.
+  synchronous_queue<int, true> q;
+  std::atomic<bool> stop{false};
+  std::vector<std::unique_ptr<sync::interrupt_token>> toks;
+  for (int i = 0; i < 4; ++i) toks.push_back(std::make_unique<sync::interrupt_token>());
+
+  std::vector<std::thread> ts;
+  for (int i = 0; i < 4; ++i) {
+    ts.emplace_back([&, i] {
+      while (!stop.load(std::memory_order_acquire)) {
+        if (i % 2)
+          (void)q.try_put(i, deadline::in(std::chrono::milliseconds(5)),
+                          toks[static_cast<std::size_t>(i)].get());
+        else
+          (void)q.try_take(deadline::in(std::chrono::milliseconds(5)),
+                           toks[static_cast<std::size_t>(i)].get());
+        toks[static_cast<std::size_t>(i)]->consume();
+      }
+    });
+  }
+  std::thread interrupter([&] {
+    for (int k = 0; k < 300; ++k) {
+      toks[static_cast<std::size_t>(k % 4)]->interrupt();
+      std::this_thread::sleep_for(std::chrono::microseconds(300));
+    }
+    stop.store(true, std::memory_order_release);
+  });
+  interrupter.join();
+  for (auto &t : ts) t.join();
+  // Queue still functional.
+  std::thread p([&] { q.put(42); });
+  EXPECT_EQ(q.take(), 42);
+  p.join();
+}

@@ -1,0 +1,125 @@
+// Tests for the closeable CSP channel (core/channel.hpp).
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/channel.hpp"
+
+using namespace ssq;
+
+TEST(Channel, SendRecvPair) {
+  channel<int> ch;
+  std::thread p([&] { EXPECT_TRUE(ch.send(5)); });
+  auto v = ch.recv();
+  p.join();
+  ASSERT_TRUE(v.has_value());
+  EXPECT_EQ(*v, 5);
+}
+
+TEST(Channel, SendBlocksUntilRecv) {
+  channel<int> ch;
+  std::atomic<bool> sent{false};
+  std::thread p([&] {
+    ch.send(1);
+    sent.store(true);
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(25));
+  EXPECT_FALSE(sent.load());
+  EXPECT_TRUE(ch.recv().has_value());
+  p.join();
+}
+
+TEST(Channel, CloseUnblocksSender) {
+  channel<int> ch;
+  std::atomic<int> result{-1};
+  std::thread p([&] { result.store(ch.send(1) ? 1 : 0); });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_EQ(result.load(), -1) << "sender should be blocked";
+  ch.close();
+  p.join();
+  EXPECT_EQ(result.load(), 0) << "closed channel fails the send";
+}
+
+TEST(Channel, CloseUnblocksReceiver) {
+  channel<int> ch;
+  std::atomic<int> state{-1};
+  std::thread c([&] { state.store(ch.recv().has_value() ? 1 : 0); });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_EQ(state.load(), -1);
+  ch.close();
+  c.join();
+  EXPECT_EQ(state.load(), 0) << "closed channel returns nullopt";
+}
+
+TEST(Channel, OperationsAfterCloseFailFast) {
+  channel<int> ch;
+  ch.close();
+  auto t0 = steady_clock::now();
+  EXPECT_FALSE(ch.send(1));
+  EXPECT_FALSE(ch.recv().has_value());
+  EXPECT_FALSE(ch.try_send(2, deadline::in(std::chrono::seconds(10))));
+  EXPECT_LT(steady_clock::now() - t0, std::chrono::seconds(5));
+  EXPECT_TRUE(ch.closed());
+}
+
+TEST(Channel, CloseIsIdempotent) {
+  channel<int> ch;
+  ch.close();
+  ch.close();
+  EXPECT_TRUE(ch.closed());
+}
+
+TEST(Channel, CloseWakesManyWaiters) {
+  channel<int> ch;
+  const int n = 6;
+  std::atomic<int> drained{0};
+  std::vector<std::thread> ts;
+  for (int i = 0; i < n; ++i)
+    ts.emplace_back([&, i] {
+      if (i % 2) {
+        if (!ch.send(i)) drained.fetch_add(1);
+      } else {
+        if (!ch.recv().has_value()) drained.fetch_add(1);
+      }
+    });
+  // Senders and receivers may pair among themselves; the rest must all be
+  // released by close.
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  ch.close();
+  for (auto &t : ts) t.join();
+  // Everyone exited; pairings + drains account for all n.
+  EXPECT_LE(drained.load(), n);
+  SUCCEED();
+}
+
+TEST(Channel, StreamThenClose) {
+  channel<std::string> ch;
+  std::thread producer([&] {
+    for (int i = 0; i < 100; ++i)
+      ASSERT_TRUE(ch.send(std::to_string(i)));
+    ch.close();
+  });
+  int got = 0;
+  while (auto v = ch.recv()) ++got;
+  producer.join();
+  EXPECT_EQ(got, 100);
+}
+
+TEST(Channel, TimedRecvHonorsDeadline) {
+  channel<int> ch;
+  auto t0 = steady_clock::now();
+  EXPECT_FALSE(ch.try_recv(deadline::in(std::chrono::milliseconds(30))).has_value());
+  EXPECT_GE(steady_clock::now() - t0, std::chrono::milliseconds(25));
+}
+
+TEST(Channel, UnfairVariantWorks) {
+  channel<int, false> ch;
+  std::thread p([&] { ch.send(7); });
+  EXPECT_EQ(*ch.recv(), 7);
+  p.join();
+  ch.close();
+  EXPECT_FALSE(ch.send(1));
+}

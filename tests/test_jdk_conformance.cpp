@@ -1,0 +1,173 @@
+// JDK SynchronousQueue specification conformance.
+//
+// The paper's algorithms shipped as java.util.concurrent.SynchronousQueue
+// in Java 6; this suite checks the behaviours the JDK javadoc *specifies*
+// (many sourced from the JSR-166 TCK), against both fairness modes.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <iterator>
+#include <thread>
+#include <vector>
+
+#include "core/synchronous_queue.hpp"
+
+using namespace ssq;
+
+template <typename Q>
+class JdkSpec : public ::testing::Test {};
+
+using Modes = ::testing::Types<synchronous_queue<int, true>,
+                               synchronous_queue<int, false>>;
+TYPED_TEST_SUITE(JdkSpec, Modes);
+
+// "A synchronous queue does not have any internal capacity, not even a
+// capacity of one."
+TYPED_TEST(JdkSpec, SizeIsAlwaysZero) {
+  TypeParam q;
+  EXPECT_EQ(q.size(), 0u);
+  std::thread p([&] { q.put(1); });
+  while (q.unsafe_length() < 1) std::this_thread::yield();
+  EXPECT_EQ(q.size(), 0u) << "waiting producers are not contents";
+  (void)q.take();
+  p.join();
+}
+
+TYPED_TEST(JdkSpec, RemainingCapacityIsAlwaysZero) {
+  TypeParam q;
+  EXPECT_EQ(q.remaining_capacity(), 0u);
+}
+
+// "peek ... always returns null" / "isEmpty always returns true".
+TYPED_TEST(JdkSpec, PeekIsAlwaysEmpty) {
+  TypeParam q;
+  EXPECT_FALSE(q.peek().has_value());
+  EXPECT_TRUE(q.empty());
+  std::thread p([&] { q.put(2); });
+  while (q.unsafe_length() < 1) std::this_thread::yield();
+  EXPECT_FALSE(q.peek().has_value()) << "peek must not observe a waiter";
+  (void)q.take();
+  p.join();
+}
+
+// "poll() ... returns null unless another thread is currently making an
+// element available."
+TYPED_TEST(JdkSpec, ZeroTimeoutPollIsImmediate) {
+  TypeParam q;
+  auto t0 = steady_clock::now();
+  EXPECT_FALSE(q.poll().has_value());
+  EXPECT_LT(steady_clock::now() - t0, std::chrono::seconds(1));
+}
+
+// "offer(e) ... succeeds only if another thread is waiting to receive it."
+TYPED_TEST(JdkSpec, OfferNeedsAReceiver) {
+  TypeParam q;
+  EXPECT_FALSE(q.offer(1));
+  std::atomic<int> got{-1};
+  std::thread c([&] { got.store(*q.try_take(std::chrono::seconds(20))); });
+  while (q.unsafe_length() < 1) std::this_thread::yield();
+  EXPECT_TRUE(q.offer(7));
+  c.join();
+  EXPECT_EQ(got.load(), 7);
+}
+
+// drainTo "transfers elements only if a producer is already waiting".
+TYPED_TEST(JdkSpec, DrainToTakesOnlyWaitingProducers) {
+  TypeParam q;
+  std::vector<int> out;
+  EXPECT_EQ(q.drain_to(std::back_inserter(out)), 0u);
+
+  std::vector<std::thread> ps;
+  for (int i = 0; i < 3; ++i) ps.emplace_back([&, i] { q.put(i + 1); });
+  while (q.unsafe_length() < 3) std::this_thread::yield();
+  std::size_t n = q.drain_to(std::back_inserter(out));
+  for (auto &t : ps) t.join();
+  EXPECT_EQ(n, 3u);
+  long sum = 0;
+  for (int v : out) sum += v;
+  EXPECT_EQ(sum, 6);
+}
+
+TYPED_TEST(JdkSpec, DrainToHonorsMaxElements) {
+  TypeParam q;
+  std::vector<std::thread> ps;
+  for (int i = 0; i < 4; ++i) ps.emplace_back([&, i] { q.put(i + 1); });
+  while (q.unsafe_length() < 4) std::this_thread::yield();
+  std::vector<int> out;
+  EXPECT_EQ(q.drain_to(std::back_inserter(out), 2), 2u);
+  EXPECT_EQ(out.size(), 2u);
+  // The remaining two producers are still waiting.
+  EXPECT_EQ(q.drain_to(std::back_inserter(out)), 2u);
+  for (auto &t : ps) t.join();
+}
+
+// Timed poll returns the element if one becomes available within patience.
+TYPED_TEST(JdkSpec, TimedPollReceivesLateProducer) {
+  TypeParam q;
+  std::thread p([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(15));
+    q.put(5);
+  });
+  auto v = q.try_take(std::chrono::seconds(20));
+  p.join();
+  ASSERT_TRUE(v.has_value());
+  EXPECT_EQ(*v, 5);
+}
+
+// Interruptible blocking (Java: put/take throw InterruptedException).
+TYPED_TEST(JdkSpec, BlockedTakeIsInterruptible) {
+  TypeParam q;
+  sync::interrupt_token tok;
+  std::atomic<bool> aborted{false};
+  std::thread c([&] {
+    aborted.store(!q.try_take(deadline::unbounded(), &tok).has_value());
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(15));
+  tok.interrupt();
+  c.join();
+  EXPECT_TRUE(aborted.load());
+}
+
+TYPED_TEST(JdkSpec, BlockedPutIsInterruptible) {
+  TypeParam q;
+  sync::interrupt_token tok;
+  std::atomic<bool> aborted{false};
+  std::thread p([&] {
+    aborted.store(!q.try_put(1, deadline::unbounded(), &tok));
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(15));
+  tok.interrupt();
+  p.join();
+  EXPECT_TRUE(aborted.load());
+}
+
+// The fairness contract: "ordering is not guaranteed [unfair]; a queue
+// constructed with fairness set to true grants threads access in FIFO
+// order."
+TEST(JdkSpecFairness, FairModeIsFifo) {
+  synchronous_queue<int, true> q;
+  std::atomic<int> first{-1};
+  std::thread c1([&] { first.store(q.take()); });
+  while (q.unsafe_length() < 1) std::this_thread::yield();
+  std::thread c2([&] { (void)q.take(); });
+  while (q.unsafe_length() < 2) std::this_thread::yield();
+  q.put(10);
+  q.put(20);
+  c1.join();
+  c2.join();
+  EXPECT_EQ(first.load(), 10);
+}
+
+// JDK behaviour inherited by our port: a timed offer with a waiting
+// consumer completes without consuming any patience.
+TYPED_TEST(JdkSpec, TimedOfferFastPathWithWaitingConsumer) {
+  TypeParam q;
+  std::atomic<int> got{-1};
+  std::thread c([&] { got.store(*q.try_take(std::chrono::seconds(20))); });
+  while (q.unsafe_length() < 1) std::this_thread::yield();
+  auto t0 = steady_clock::now();
+  EXPECT_TRUE(q.try_put(3, std::chrono::seconds(20)));
+  EXPECT_LT(steady_clock::now() - t0, std::chrono::seconds(5));
+  c.join();
+  EXPECT_EQ(got.load(), 3);
+}

@@ -1,0 +1,278 @@
+// Cross-implementation property battery.
+//
+// Every synchronous-queue implementation in the repository -- the three
+// baselines, the two new algorithms, and the elimination variant -- must
+// satisfy the same semantic contract. The battery sweeps each property
+// across implementations and producer/consumer topologies with
+// INSTANTIATE_TEST_SUITE_P, so a regression in any one algorithm fails a
+// precisely named test instance.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "baselines/hanson_sq.hpp"
+#include "baselines/java5_sq.hpp"
+#include "baselines/naive_sq.hpp"
+#include "core/eliminating_sq.hpp"
+#include "core/synchronous_queue.hpp"
+
+using namespace ssq;
+
+namespace {
+
+// Type-erased adapter so gtest params can range over implementations.
+struct sq_adapter {
+  virtual ~sq_adapter() = default;
+  virtual void put(std::uint64_t v) = 0;
+  virtual std::uint64_t take() = 0;
+  virtual bool offer(std::uint64_t v, deadline dl) = 0;
+  virtual std::optional<std::uint64_t> poll(deadline dl) = 0;
+};
+
+template <typename Q>
+struct basic_adapter final : sq_adapter {
+  Q q;
+  void put(std::uint64_t v) override { q.put(v); }
+  std::uint64_t take() override { return q.take(); }
+  bool offer(std::uint64_t v, deadline dl) override { return q.offer(v, dl); }
+  std::optional<std::uint64_t> poll(deadline dl) override {
+    return q.poll(dl);
+  }
+};
+
+// Hanson supports only the total operations (paper §3.3).
+struct hanson_adapter final : sq_adapter {
+  hanson_sq<std::uint64_t> q;
+  void put(std::uint64_t v) override { q.put(v); }
+  std::uint64_t take() override { return q.take(); }
+  bool offer(std::uint64_t, deadline) override { return false; }
+  std::optional<std::uint64_t> poll(deadline) override { return std::nullopt; }
+};
+
+struct impl_param {
+  const char *name;
+  bool supports_timed;
+  bool is_fair;
+  std::function<std::unique_ptr<sq_adapter>()> make;
+};
+
+const impl_param kImpls[] = {
+    {"NaiveSQ", true, false,
+     [] { return std::make_unique<basic_adapter<naive_sq<std::uint64_t>>>(); }},
+    {"HansonSQ", false, false,
+     [] { return std::make_unique<hanson_adapter>(); }},
+    {"Java5Fair", true, true,
+     [] {
+       return std::make_unique<basic_adapter<java5_sq<std::uint64_t, true>>>();
+     }},
+    {"Java5Unfair", true, false,
+     [] {
+       return std::make_unique<basic_adapter<java5_sq<std::uint64_t, false>>>();
+     }},
+    {"NewFair", true, true,
+     [] {
+       return std::make_unique<
+           basic_adapter<synchronous_queue<std::uint64_t, true>>>();
+     }},
+    {"NewUnfair", true, false,
+     [] {
+       return std::make_unique<
+           basic_adapter<synchronous_queue<std::uint64_t, false>>>();
+     }},
+    {"Eliminating", true, false,
+     [] {
+       return std::make_unique<basic_adapter<eliminating_sq<std::uint64_t>>>();
+     }},
+};
+
+struct topo {
+  int np, nc;
+};
+const topo kTopos[] = {{1, 1}, {2, 2}, {4, 4}, {1, 4}, {4, 1}};
+
+struct battery_param {
+  const impl_param *impl;
+  topo t;
+};
+
+std::string param_name(
+    const ::testing::TestParamInfo<battery_param> &info) {
+  return std::string(info.param.impl->name) + "_" +
+         std::to_string(info.param.t.np) + "p" +
+         std::to_string(info.param.t.nc) + "c";
+}
+
+std::vector<battery_param> all_params() {
+  std::vector<battery_param> out;
+  for (const auto &impl : kImpls)
+    for (const auto &t : kTopos) out.push_back({&impl, t});
+  return out;
+}
+
+class SqBattery : public ::testing::TestWithParam<battery_param> {};
+
+} // namespace
+
+// Property 1: conservation -- the multiset of values taken equals the
+// multiset put (checked via order-insensitive sum and xor fingerprints).
+TEST_P(SqBattery, ConservationUnderConcurrency) {
+  auto [impl, t] = GetParam();
+  auto q = impl->make();
+  const int per = 400;
+  const int total = t.np * per;
+  std::atomic<std::uint64_t> in_sum{0}, out_sum{0}, in_xor{0}, out_xor{0};
+
+  std::vector<std::thread> ts;
+  for (int p = 0; p < t.np; ++p)
+    ts.emplace_back([&, p] {
+      for (int i = 0; i < per; ++i) {
+        std::uint64_t v =
+            (static_cast<std::uint64_t>(p + 1) << 32) | static_cast<std::uint64_t>(i);
+        q->put(v);
+        in_sum.fetch_add(v);
+        in_xor.fetch_xor(v);
+      }
+    });
+  int cq = total / t.nc;
+  for (int c = 0; c < t.nc; ++c)
+    ts.emplace_back([&, c] {
+      int quota = cq + (c < total % t.nc ? 1 : 0);
+      for (int i = 0; i < quota; ++i) {
+        std::uint64_t v = q->take();
+        out_sum.fetch_add(v);
+        out_xor.fetch_xor(v);
+      }
+    });
+  for (auto &th : ts) th.join();
+  EXPECT_EQ(in_sum.load(), out_sum.load());
+  EXPECT_EQ(in_xor.load(), out_xor.load());
+}
+
+// Property 2: synchrony -- put returns only after some take accepted the
+// value (verified by a put that must still be blocked while no consumer has
+// arrived).
+TEST_P(SqBattery, PutWaitsForConsumer) {
+  auto [impl, t] = GetParam();
+  (void)t;
+  auto q = impl->make();
+  std::atomic<bool> put_done{false};
+  std::thread p([&] {
+    q->put(1);
+    put_done.store(true);
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(25));
+  EXPECT_FALSE(put_done.load());
+  EXPECT_EQ(q->take(), 1u);
+  p.join();
+  EXPECT_TRUE(put_done.load());
+}
+
+// Property 3: poll/offer are faithful partial-method totalizations -- they
+// never succeed against an absent counterpart.
+TEST_P(SqBattery, OfferPollFailAlone) {
+  auto [impl, t] = GetParam();
+  (void)t;
+  if (!impl->supports_timed) GTEST_SKIP() << "no timed ops (Hanson)";
+  auto q = impl->make();
+  EXPECT_FALSE(q->offer(1, deadline::expired()));
+  EXPECT_FALSE(q->poll(deadline::expired()).has_value());
+  // The failed offer must not have left residue a poll could see.
+  EXPECT_FALSE(q->poll(deadline::expired()).has_value());
+}
+
+// Property 4: timed operations respect their patience, within scheduling
+// slop, and leave the structure clean.
+TEST_P(SqBattery, TimedOpsHonorPatience) {
+  auto [impl, t] = GetParam();
+  (void)t;
+  if (!impl->supports_timed) GTEST_SKIP() << "no timed ops (Hanson)";
+  auto q = impl->make();
+  auto t0 = steady_clock::now();
+  EXPECT_FALSE(q->offer(1, deadline::in(std::chrono::milliseconds(30))));
+  auto elapsed = steady_clock::now() - t0;
+  EXPECT_GE(elapsed, std::chrono::milliseconds(25));
+  EXPECT_LT(elapsed, std::chrono::seconds(20));
+  t0 = steady_clock::now();
+  EXPECT_FALSE(q->poll(deadline::in(std::chrono::milliseconds(30))).has_value());
+  EXPECT_GE(steady_clock::now() - t0, std::chrono::milliseconds(25));
+}
+
+// Property 5: a queue remains fully functional after a burst of timeouts
+// and cancellations (cancelled-waiter cleanup does not corrupt state).
+TEST_P(SqBattery, UsableAfterTimeoutBurst) {
+  auto [impl, t] = GetParam();
+  (void)t;
+  if (!impl->supports_timed) GTEST_SKIP() << "no timed ops (Hanson)";
+  auto q = impl->make();
+  // Phase 1: only producers -> every timed offer must expire.
+  {
+    std::vector<std::thread> ts;
+    for (int i = 0; i < 4; ++i)
+      ts.emplace_back([&, i] {
+        EXPECT_FALSE(
+            q->offer(99, deadline::in(std::chrono::milliseconds(5 + i))));
+      });
+    for (auto &th : ts) th.join();
+  }
+  // Phase 2: only consumers -> every timed poll must expire.
+  {
+    std::vector<std::thread> ts;
+    for (int i = 0; i < 4; ++i)
+      ts.emplace_back([&, i] {
+        EXPECT_FALSE(
+            q->poll(deadline::in(std::chrono::milliseconds(5 + i))).has_value());
+      });
+    for (auto &th : ts) th.join();
+  }
+  std::thread p([&] { q->put(7); });
+  EXPECT_EQ(q->take(), 7u);
+  p.join();
+}
+
+// Property 6: values are delivered exactly once even when producers and
+// consumers race through timed paths.
+TEST_P(SqBattery, TimedTrafficExactlyOnce) {
+  auto [impl, t] = GetParam();
+  if (!impl->supports_timed) GTEST_SKIP() << "no timed ops (Hanson)";
+  auto q = impl->make();
+  const int per = 250;
+  std::atomic<std::uint64_t> in_sum{0}, out_sum{0};
+  std::atomic<int> delivered{0};
+  std::atomic<int> producers_done{0};
+
+  std::vector<std::thread> ts;
+  for (int p = 0; p < t.np; ++p)
+    ts.emplace_back([&, p] {
+      for (int i = 0; i < per; ++i) {
+        std::uint64_t v =
+            (static_cast<std::uint64_t>(p + 1) << 32) | static_cast<std::uint64_t>(i);
+        while (!q->offer(v, deadline::in(std::chrono::milliseconds(5)))) {
+        }
+        in_sum.fetch_add(v);
+      }
+      producers_done.fetch_add(1);
+    });
+  const int total = t.np * per;
+  for (int c = 0; c < t.nc; ++c)
+    ts.emplace_back([&] {
+      while (delivered.load() < total) {
+        auto v = q->poll(deadline::in(std::chrono::milliseconds(5)));
+        if (v) {
+          out_sum.fetch_add(*v);
+          delivered.fetch_add(1);
+        }
+      }
+    });
+  for (auto &th : ts) th.join();
+  EXPECT_EQ(delivered.load(), total);
+  EXPECT_EQ(in_sum.load(), out_sum.load());
+}
+
+INSTANTIATE_TEST_SUITE_P(AllImpls, SqBattery,
+                         ::testing::ValuesIn(all_params()), param_name);

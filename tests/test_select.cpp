@@ -1,0 +1,138 @@
+// Tests for CSP-style alternation (core/select.hpp).
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "core/select.hpp"
+#include "core/synchronous_queue.hpp"
+
+using namespace ssq;
+
+using uq = synchronous_queue<int, false>;
+using fq = synchronous_queue<int, true>;
+
+TEST(SelectTake, ReceivesFromTheReadyQueue) {
+  uq a;
+  fq b;
+  std::thread p([&] { b.put(42); });
+  auto r = select_take<int>(deadline::in(std::chrono::seconds(10)), a, b);
+  p.join();
+  ASSERT_TRUE(r.has_value());
+  EXPECT_EQ(r->first, 1u);
+  EXPECT_EQ(r->second, 42);
+}
+
+TEST(SelectTake, TimesOutWhenNothingArrives) {
+  uq a, b;
+  auto t0 = steady_clock::now();
+  auto r = select_take<int>(deadline::in(std::chrono::milliseconds(40)), a, b);
+  EXPECT_FALSE(r.has_value());
+  EXPECT_GE(steady_clock::now() - t0, std::chrono::milliseconds(35));
+}
+
+TEST(SelectTake, SingleQueueDegeneratesToTimedTake) {
+  uq a;
+  std::thread p([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(15));
+    a.put(7);
+  });
+  auto r = select_take<int>(deadline::in(std::chrono::seconds(10)), a);
+  p.join();
+  ASSERT_TRUE(r.has_value());
+  EXPECT_EQ(r->second, 7);
+}
+
+TEST(SelectTake, DrainsBothSourcesWithoutStarvation) {
+  uq a;
+  fq b;
+  const int per = 200;
+  std::thread pa([&] {
+    for (int i = 0; i < per; ++i) a.put(i);
+  });
+  std::thread pb([&] {
+    for (int i = 0; i < per; ++i) b.put(1000 + i);
+  });
+  int from_a = 0, from_b = 0;
+  long sum = 0;
+  for (int i = 0; i < 2 * per; ++i) {
+    auto r = select_take<int>(deadline::in(std::chrono::seconds(60)), a, b);
+    ASSERT_TRUE(r.has_value());
+    (r->first == 0 ? from_a : from_b)++;
+    sum += r->second;
+  }
+  pa.join();
+  pb.join();
+  EXPECT_EQ(from_a, per);
+  EXPECT_EQ(from_b, per);
+  long expect = 0;
+  for (int i = 0; i < per; ++i) expect += i + 1000 + i;
+  EXPECT_EQ(sum, expect);
+}
+
+TEST(SelectPut, DeliversToTheWaitingConsumer) {
+  uq a;
+  fq b;
+  std::atomic<int> got{-1};
+  std::thread c([&] { got.store(b.take()); });
+  int v = 9;
+  auto idx = select_put(v, deadline::in(std::chrono::seconds(10)), a, b);
+  c.join();
+  ASSERT_TRUE(idx.has_value());
+  EXPECT_EQ(*idx, 1u);
+  EXPECT_EQ(got.load(), 9);
+}
+
+TEST(SelectPut, TimesOutAndReturnsValue) {
+  uq a, b;
+  int v = 1234;
+  auto idx = select_put(v, deadline::in(std::chrono::milliseconds(40)), a, b);
+  EXPECT_FALSE(idx.has_value());
+  EXPECT_EQ(v, 1234) << "value must be handed back on failure";
+}
+
+TEST(Select, PutSelectMeetsTakeSelect) {
+  // The documented worst case: both sides are selecting. They must meet
+  // within a camping quantum.
+  uq a;
+  fq b;
+  std::atomic<bool> ok{false};
+  std::thread taker([&] {
+    auto r = select_take<int>(deadline::in(std::chrono::seconds(60)), a, b);
+    ok.store(r.has_value() && r->second == 5);
+  });
+  int v = 5;
+  auto idx = select_put(v, deadline::in(std::chrono::seconds(60)), a, b);
+  taker.join();
+  ASSERT_TRUE(idx.has_value());
+  EXPECT_TRUE(ok.load());
+}
+
+TEST(Select, ManyRoundsBothDirections) {
+  uq a;
+  fq b;
+  const int rounds = 300;
+  std::thread peer([&] {
+    for (int i = 0; i < rounds; ++i) {
+      if (i % 2) {
+        int v = i;
+        ASSERT_TRUE(
+            select_put(v, deadline::in(std::chrono::seconds(60)), a, b));
+      } else {
+        ASSERT_TRUE(
+            select_take<int>(deadline::in(std::chrono::seconds(60)), a, b));
+      }
+    }
+  });
+  for (int i = 0; i < rounds; ++i) {
+    if (i % 2) {
+      ASSERT_TRUE(
+          select_take<int>(deadline::in(std::chrono::seconds(60)), a, b));
+    } else {
+      int v = i;
+      ASSERT_TRUE(select_put(v, deadline::in(std::chrono::seconds(60)), a, b));
+    }
+  }
+  peer.join();
+}
