@@ -27,7 +27,7 @@ struct storm_result {
 
 storm_result run_storm(cleaning_policy cp, int producers,
                        std::uint64_t offers_per_thread) {
-  transfer_queue<> q(sync::spin_policy::adaptive(), mem::hp_reclaimer{}, cp);
+  transfer_queue<> q(sync::spin_policy::adaptive(), mem::pooled_hp_reclaimer{}, cp);
   std::atomic<bool> stop{false};
   std::atomic<std::size_t> peak{0};
 

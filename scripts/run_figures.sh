@@ -18,6 +18,7 @@ BENCHES=(
   fig6_executor
   ablation_spin
   ablation_reclaim
+  ablation_pooling
   ablation_elimination
   ablation_cleaning
   ablation_contention

@@ -21,7 +21,7 @@
 
 namespace ssq {
 
-template <typename T, typename Reclaimer = mem::hp_reclaimer>
+template <typename T, typename Reclaimer = mem::pooled_hp_reclaimer>
 class dual_queue_basic {
   using codec = item_codec<T>;
 
@@ -36,8 +36,7 @@ class dual_queue_basic {
 
  public:
   dual_queue_basic() {
-    auto *dummy = new node(empty_token, false);
-    diag::bump(diag::id::node_alloc);
+    node *dummy = rec_.template create<node>(empty_token, false);
     dummy->life.preset_released();
     head_.value.store(dummy, std::memory_order_relaxed);
     tail_.value.store(dummy, std::memory_order_relaxed);
@@ -49,7 +48,7 @@ class dual_queue_basic {
       node *nx = n->next.load(std::memory_order_relaxed);
       item_token d = n->data.load(std::memory_order_relaxed);
       if (!n->is_request && d != empty_token) codec::dispose(d);
-      delete n;
+      rec_.destroy(n);
       n = nx;
     }
   }
@@ -72,10 +71,7 @@ class dual_queue_basic {
           if (n != nullptr) {                    // line 11
             cas_tail(t, n);                      // line 12
           } else {
-            if (!offer) {
-              offer = new node(e, false);
-              diag::bump(diag::id::node_alloc);
-            }
+            if (!offer) offer = rec_.template create<node>(e, false);
             if (t->next.compare_exchange_strong(
                     n, offer, std::memory_order_seq_cst)) { // line 13
               cas_tail(t, offer);                // line 14
@@ -103,9 +99,8 @@ class dual_queue_basic {
             expected, e, std::memory_order_seq_cst); // line 27
         cas_head(h, n);                          // line 28
         if (success) {                           // line 29
-          if (offer) {
-            delete offer; // allocated on an earlier pass, never linked
-          }
+          // allocated on an earlier pass, never linked
+          if (offer) rec_.destroy(offer);
           return;                                // line 30
         }
       }
@@ -126,10 +121,7 @@ class dual_queue_basic {
           if (n != nullptr) {
             cas_tail(t, n);
           } else {
-            if (!req) {
-              req = new node(empty_token, true);
-              diag::bump(diag::id::node_alloc);
-            }
+            if (!req) req = rec_.template create<node>(empty_token, true);
             if (t->next.compare_exchange_strong(n, req,
                                                 std::memory_order_seq_cst)) {
               cas_tail(t, req);
@@ -161,7 +153,7 @@ class dual_queue_basic {
                                             std::memory_order_seq_cst);
         cas_head(h, n);
         if (success) {
-          if (req) delete req;
+          if (req) rec_.destroy(req); // never linked
           return codec::decode_consume(x);
         }
       }

@@ -22,7 +22,7 @@
 
 namespace ssq {
 
-template <typename T, typename Reclaimer = mem::hp_reclaimer>
+template <typename T, typename Reclaimer = mem::pooled_hp_reclaimer>
 class dual_stack_basic {
   using codec = item_codec<T>;
   enum : unsigned { req_mode = 0, data_mode = 1, fulfilling = 2 };
@@ -49,7 +49,7 @@ class dual_stack_basic {
       if (n->is_data() && n->data != empty_token &&
           n->match.load(std::memory_order_relaxed) == empty_token)
         codec::dispose(n->data);
-      delete n;
+      rec_.destroy(n);
       n = nx;
     }
   }
@@ -77,8 +77,7 @@ class dual_stack_basic {
       node *h = hz_h.protect(head_.value);        // line 06
       if (h == nullptr || h->mode == mode) {      // line 07 (and symmetric)
         if (!d) {
-          d = new node(e, mode);                  // line 03
-          diag::bump(diag::id::node_alloc);
+          d = rec_.template create<node>(e, mode); // line 03
         } else {
           d->mode = mode;
         }
@@ -99,8 +98,7 @@ class dual_stack_basic {
         return (mode == req_mode) ? m : e;        // line 16
       } else if (!h->is_fulfilling()) {           // line 17
         if (!d) {
-          d = new node(e, mode | fulfilling);     // line 18
-          diag::bump(diag::id::node_alloc);
+          d = rec_.template create<node>(e, mode | fulfilling); // line 18
         } else {
           d->mode = mode | fulfilling;
         }

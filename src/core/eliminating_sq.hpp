@@ -22,7 +22,7 @@
 
 namespace ssq {
 
-template <typename T, typename Reclaimer = mem::hp_reclaimer>
+template <typename T, typename Reclaimer = mem::pooled_hp_reclaimer>
 class eliminating_sq {
   using codec = item_codec<T>;
 

@@ -18,7 +18,7 @@
 
 namespace ssq {
 
-template <typename T, typename Reclaimer = mem::hp_reclaimer>
+template <typename T, typename Reclaimer = mem::pooled_hp_reclaimer>
 class linked_transfer_queue {
   using codec = item_codec<T>;
 

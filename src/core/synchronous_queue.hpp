@@ -32,7 +32,7 @@
 namespace ssq {
 
 template <typename T, bool Fair = false,
-          typename Reclaimer = mem::hp_reclaimer>
+          typename Reclaimer = mem::pooled_hp_reclaimer>
 class synchronous_queue {
   using core_t = std::conditional_t<Fair, transfer_queue<Reclaimer>,
                                     transfer_stack<Reclaimer>>;
@@ -174,10 +174,10 @@ class synchronous_queue {
 };
 
 // Convenience aliases matching the paper's naming.
-template <typename T, typename R = mem::hp_reclaimer>
+template <typename T, typename R = mem::pooled_hp_reclaimer>
 using fair_synchronous_queue = synchronous_queue<T, true, R>;
 
-template <typename T, typename R = mem::hp_reclaimer>
+template <typename T, typename R = mem::pooled_hp_reclaimer>
 using unfair_synchronous_queue = synchronous_queue<T, false, R>;
 
 } // namespace ssq

@@ -57,15 +57,14 @@ namespace ssq {
 //                      cancelled and leave it for head traffic to shed.
 enum class cleaning_policy { deferred_splice, abandon };
 
-template <typename Reclaimer = mem::hp_reclaimer>
+template <typename Reclaimer = mem::pooled_hp_reclaimer>
 class transfer_queue {
  public:
   explicit transfer_queue(sync::spin_policy pol = sync::spin_policy::adaptive(),
                           Reclaimer rec = Reclaimer{},
                           cleaning_policy cp = cleaning_policy::deferred_splice)
       : rec_(std::move(rec)), pol_(pol), cleaning_(cp) {
-    auto *dummy = new qnode(empty_token, /*is_data=*/false);
-    diag::bump(diag::id::node_alloc);
+    qnode *dummy = rec_.template create<qnode>(empty_token, /*is_data=*/false);
     dummy->life.preset_released();
     head_.value.store(dummy, std::memory_order_relaxed);
     tail_.value.store(dummy, std::memory_order_relaxed);
@@ -83,8 +82,7 @@ class transfer_queue {
       item_token it = n->item.load(std::memory_order_relaxed);
       if (n->is_data && disposer_ && it != empty_token && it != n->self_token())
         disposer_(it);
-      delete n;
-      diag::bump(diag::id::node_free);
+      rec_.destroy(n);
       n = next;
     }
   }
@@ -128,15 +126,11 @@ class transfer_queue {
         }
         if (wk == wait_kind::now ||
             (wk == wait_kind::timed && dl.expired_now())) {
-          if (s) {
-            delete s; // never linked
-            diag::bump(diag::id::node_free);
-          }
+          if (s) rec_.destroy(s); // never linked: back through the policy
           return empty_token;
         }
         if (s == nullptr) {
-          s = new qnode(is_data ? e : empty_token, is_data);
-          diag::bump(diag::id::node_alloc);
+          s = rec_.template create<qnode>(is_data ? e : empty_token, is_data);
           if (wk == wait_kind::async) s->life.preset_released();
         }
         if (!t->cas_next(nullptr, s)) {
@@ -180,10 +174,7 @@ class transfer_queue {
         // Fulfilled m: request + follow-up linearize at the cas_item.
         advance_head(h, m);
         m->slot.signal();
-        if (s) { // allocated on an earlier same-mode attempt, never linked
-          delete s;
-          diag::bump(diag::id::node_free);
-        }
+        if (s) rec_.destroy(s); // allocated earlier, never linked
         return is_data ? e : x;
       }
     }

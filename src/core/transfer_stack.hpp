@@ -55,7 +55,7 @@
 
 namespace ssq {
 
-template <typename Reclaimer = mem::hp_reclaimer>
+template <typename Reclaimer = mem::pooled_hp_reclaimer>
 class transfer_stack {
   enum : unsigned { req_mode = 0, data_mode = 1, fulfilling = 2 };
 
@@ -73,8 +73,7 @@ class transfer_stack {
       if ((n->mode & data_mode) && disposer_ && n->item != empty_token &&
           n->xword.load(std::memory_order_relaxed) == empty_token)
         disposer_(n->item); // unconsumed data (async producer leftovers)
-      delete n;
-      diag::bump(diag::id::node_free);
+      rec_.destroy(n);
       n = next;
     }
   }
@@ -107,15 +106,11 @@ class transfer_stack {
             pop_head(h); // shed garbage, then retry the whole decision
             continue;
           }
-          if (s) {
-            delete s;
-            diag::bump(diag::id::node_free);
-          }
+          if (s) rec_.destroy(s); // never linked: back through the policy
           return empty_token;
         }
         if (s == nullptr) {
-          s = new snode(e, mode);
-          diag::bump(diag::id::node_alloc);
+          s = rec_.template create<snode>(e, mode);
           if (wk == wait_kind::async) s->life.preset_released();
         } else {
           s->mode = mode; // may carry a fulfilling bit from a failed attempt
@@ -146,8 +141,7 @@ class transfer_stack {
           continue;
         }
         if (s == nullptr) {
-          s = new snode(e, mode | fulfilling);
-          diag::bump(diag::id::node_alloc);
+          s = rec_.template create<snode>(e, mode | fulfilling);
         } else {
           s->mode = mode | fulfilling;
         }

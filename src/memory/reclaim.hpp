@@ -2,12 +2,19 @@
 //
 // Every dual-structure template takes a Reclaimer policy parameter:
 //
-//   * hp_reclaimer   -- hazard pointers (the default; safe with parked
-//                       waiters, see memory/hazard.hpp)
-//   * deferred_reclaimer -- retire is a lock-free push onto a tombstone
-//                       list freed only at reclaimer destruction. Models
-//                       "GC for free" with zero per-scan cost; used by
-//                       bench/ablation_reclaim to price the safety of HP.
+//   * pooled_hp_reclaimer -- hazard pointers + thread-local node pools (the
+//                       default: nodes recycle through memory/node_pool.hpp
+//                       instead of the global heap, restoring the allocation
+//                       economy the paper's Java original got from TLABs)
+//   * hp_reclaimer    -- hazard pointers over the global heap (safe with
+//                       parked waiters, see memory/hazard.hpp); the
+//                       heap-allocation baseline bench/ablation_pooling
+//                       prices the pools against
+//   * deferred_reclaimer / pooled_deferred_reclaimer -- retire is a
+//                       lock-free push onto a tombstone list freed only at
+//                       reclaimer destruction. Models "GC for free" with
+//                       zero per-scan cost; used by bench/ablation_reclaim
+//                       to price the safety of HP.
 //
 // A policy provides:
 //   struct slot {                         // per-pointer protection guard
@@ -16,8 +23,18 @@
 //     void set(T*);                       // publish a pre-validated pointer
 //     void clear();
 //   };
-//   template <class Node> void retire(Node*); // free once unreferenced
+//   template <class Node> Node* create(Args&&...); // allocate + construct
+//   template <class Node> void destroy(Node*);     // free a node that was
+//                                                  // never linked (or is
+//                                                  // being torn down
+//                                                  // single-threaded)
+//   template <class Node> void retire(Node*);      // free once unreferenced
 //   void quiesce();                           // tests: drain what's drainable
+//
+// create/destroy/retire are the single seam through which nodes enter and
+// leave a structure; the structures never call new/delete on nodes
+// directly, so swapping the allocation backend (heap vs. pool) is purely a
+// policy choice and the leak/deferred ablation compiles against both.
 //
 // -----------------------------------------------------------------------
 // Node lifecycle: waiters and unlinkers race to retire.
@@ -30,12 +47,16 @@
 // -----------------------------------------------------------------------
 #pragma once
 
+#include <algorithm>
 #include <atomic>
 #include <cstdint>
 #include <mutex>
+#include <type_traits>
+#include <utility>
 #include <vector>
 
 #include "memory/hazard.hpp"
+#include "memory/node_pool.hpp"
 #include "support/diagnostics.hpp"
 
 namespace ssq::mem {
@@ -75,13 +96,78 @@ class life_cycle {
 };
 
 // ---------------------------------------------------------------------------
+// Node allocation policies: where dual-structure nodes come from.
+// ---------------------------------------------------------------------------
 
-struct hp_reclaimer {
+// Global heap: what the seed implementation always did.
+struct heap_node_alloc {
+  template <typename Node, typename... Args>
+  static Node *create(Args &&...args) {
+    return new Node(std::forward<Args>(args)...);
+  }
+
+  template <typename Node>
+  static void destroy(Node *n) noexcept {
+    delete n;
+  }
+
+  template <typename Node>
+  static auto deleter() noexcept -> void (*)(void *) {
+    return [](void *p) { delete static_cast<Node *>(p); };
+  }
+};
+
+// Thread-local node pools (memory/node_pool.hpp). Blocks are cache-line
+// aligned -- adjacent nodes handed to different thread pairs never share a
+// line for their futex/park words -- and recycle through per-thread
+// magazines instead of the heap.
+struct pooled_node_alloc {
+  template <typename Node>
+  static constexpr std::size_t block_align() noexcept {
+    return alignof(Node) > cacheline_size ? alignof(Node) : cacheline_size;
+  }
+
+  template <typename Node>
+  static node_pool &pool() {
+    // Trivial destructibility lets a pool free its chunks wholesale at
+    // destruction without running per-node destructors on blocks still
+    // parked in magazines.
+    static_assert(std::is_trivially_destructible_v<Node>,
+                  "pooled nodes must be trivially destructible");
+    return node_pool::global_for(sizeof(Node), block_align<Node>());
+  }
+
+  template <typename Node, typename... Args>
+  static Node *create(Args &&...args) {
+    return ::new (pool<Node>().allocate()) Node(std::forward<Args>(args)...);
+  }
+
+  template <typename Node>
+  static void destroy(Node *n) noexcept {
+    pool<Node>().deallocate(n);
+  }
+
+  template <typename Node>
+  static auto deleter() noexcept -> void (*)(void *) {
+    // Runs inside hazard scans -- possibly during static teardown, after
+    // this thread's pool cache is gone; deallocate_global handles both.
+    return [](void *p) {
+      node_pool::deallocate_global(sizeof(Node), block_align<Node>(), p);
+    };
+  }
+};
+
+// ---------------------------------------------------------------------------
+
+template <typename Alloc>
+struct basic_hp_reclaimer {
+  using allocator = Alloc;
+
   hazard_domain *dom = &hazard_domain::global();
 
   class slot {
    public:
-    explicit slot(hp_reclaimer &r) noexcept : h_(*r.dom) {}
+    explicit slot(basic_hp_reclaimer &r) noexcept : h_(*r.dom) {}
 
     template <typename T>
     T *protect(const std::atomic<T *> &src) noexcept {
@@ -97,9 +183,25 @@ struct hp_reclaimer {
     hazard_domain::hazard h_;
   };
 
+  template <typename Node, typename... Args>
+  Node *create(Args &&...args) {
+    diag::bump(diag::id::node_alloc);
+    return Alloc::template create<Node>(std::forward<Args>(args)...);
+  }
+
+  template <typename Node>
+  void destroy(Node *n) noexcept {
+    diag::bump(diag::id::node_free);
+    Alloc::destroy(n);
+  }
+
   template <typename Node>
   void retire(Node *n) {
-    dom->retire(n);
+    // The retired_node deleter seam is reused unchanged: the scan logic
+    // neither knows nor cares whether the deleter frees to the heap or
+    // recycles into a pool.
+    dom->retire(const_cast<void *>(static_cast<const void *>(n)),
+                Alloc::template deleter<Node>());
   }
 
   void register_root(const std::atomic<void *> *root) { dom->add_root(root); }
@@ -110,19 +212,26 @@ struct hp_reclaimer {
   void quiesce() { dom->drain(); }
 };
 
+using hp_reclaimer = basic_hp_reclaimer<heap_node_alloc>;
+using pooled_hp_reclaimer = basic_hp_reclaimer<pooled_node_alloc>;
+
 // ---------------------------------------------------------------------------
 
-struct deferred_reclaimer {
-  deferred_reclaimer() = default;
-  deferred_reclaimer(const deferred_reclaimer &) = delete;
-  deferred_reclaimer &operator=(const deferred_reclaimer &) = delete;
+template <typename Alloc>
+struct basic_deferred_reclaimer {
+  using allocator = Alloc;
+
+  basic_deferred_reclaimer() = default;
+  basic_deferred_reclaimer(const basic_deferred_reclaimer &) = delete;
+  basic_deferred_reclaimer &operator=(const basic_deferred_reclaimer &) =
+      delete;
 
   // Movable so structures can take a reclaimer by value. Move is only
   // meaningful before concurrent use begins.
-  deferred_reclaimer(deferred_reclaimer &&other) noexcept
+  basic_deferred_reclaimer(basic_deferred_reclaimer &&other) noexcept
       : head_(other.head_.exchange(nullptr, std::memory_order_acq_rel)) {}
 
-  ~deferred_reclaimer() {
+  ~basic_deferred_reclaimer() {
     tombstone *t = head_.load(std::memory_order_acquire);
     while (t) {
       tombstone *next = t->next;
@@ -134,7 +243,7 @@ struct deferred_reclaimer {
 
   class slot {
    public:
-    explicit slot(deferred_reclaimer &) noexcept {}
+    explicit slot(basic_deferred_reclaimer &) noexcept {}
 
     template <typename T>
     T *protect(const std::atomic<T *> &src) noexcept {
@@ -145,11 +254,22 @@ struct deferred_reclaimer {
     void clear() noexcept {}
   };
 
+  template <typename Node, typename... Args>
+  Node *create(Args &&...args) {
+    diag::bump(diag::id::node_alloc);
+    return Alloc::template create<Node>(std::forward<Args>(args)...);
+  }
+
+  template <typename Node>
+  void destroy(Node *n) noexcept {
+    diag::bump(diag::id::node_free);
+    Alloc::destroy(n);
+  }
+
   template <typename Node>
   void retire(Node *n) {
     diag::bump(diag::id::node_retire);
-    auto *t = new tombstone{n, [](void *p) { delete static_cast<Node *>(p); },
-                            nullptr};
+    auto *t = new tombstone{n, Alloc::template deleter<Node>(), nullptr};
     tombstone *h = head_.load(std::memory_order_acquire);
     do {
       t->next = h;
@@ -170,5 +290,8 @@ struct deferred_reclaimer {
   };
   std::atomic<tombstone *> head_{nullptr};
 };
+
+using deferred_reclaimer = basic_deferred_reclaimer<heap_node_alloc>;
+using pooled_deferred_reclaimer = basic_deferred_reclaimer<pooled_node_alloc>;
 
 } // namespace ssq::mem

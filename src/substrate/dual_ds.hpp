@@ -23,7 +23,7 @@
 namespace ssq {
 
 // FIFO dual queue: dequeue requests are served in arrival order.
-template <typename T, typename Reclaimer = mem::hp_reclaimer>
+template <typename T, typename Reclaimer = mem::pooled_hp_reclaimer>
 class dual_queue_ds {
   using codec = item_codec<T>;
 
@@ -62,7 +62,7 @@ class dual_queue_ds {
 };
 
 // LIFO dual stack: a pop request is served by the next push.
-template <typename T, typename Reclaimer = mem::hp_reclaimer>
+template <typename T, typename Reclaimer = mem::pooled_hp_reclaimer>
 class dual_stack_ds {
   using codec = item_codec<T>;
 

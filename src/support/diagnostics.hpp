@@ -27,6 +27,8 @@ enum class id : unsigned {
   clean_call,   // transfer_queue/stack cancelled-node cleaning passes
   clean_unlink, // cancelled nodes successfully unlinked
   cas_fail,     // head/tail/item CAS failures (contention indicator)
+  pool_recycle, // node_pool allocations served from magazine/ring/orphans
+  pool_fresh,   // node_pool allocations that carved a fresh chunk
   count_        // sentinel
 };
 

@@ -91,7 +91,7 @@ TEST(CancellationStorm, QueueFullReclamation) {
   diag::reset_all();
   {
     mem::hazard_domain dom;
-    transfer_queue<> q(sync::spin_policy::adaptive(), mem::hp_reclaimer{&dom});
+    transfer_queue<> q(sync::spin_policy::adaptive(), mem::pooled_hp_reclaimer{&dom});
     storm(q, 4, 3000);
     dom.drain();
   }
@@ -102,7 +102,7 @@ TEST(CancellationStorm, StackFullReclamation) {
   diag::reset_all();
   {
     mem::hazard_domain dom;
-    transfer_stack<> s(sync::spin_policy::adaptive(), mem::hp_reclaimer{&dom});
+    transfer_stack<> s(sync::spin_policy::adaptive(), mem::pooled_hp_reclaimer{&dom});
     storm(s, 4, 3000);
     dom.drain();
   }

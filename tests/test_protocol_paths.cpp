@@ -206,7 +206,7 @@ TEST(ProtocolFreeze, SplicedNodesAreNotDoubleRetired) {
   diag::reset_all();
   {
     mem::hazard_domain dom;
-    transfer_queue<> q(sync::spin_policy::adaptive(), mem::hp_reclaimer{&dom});
+    transfer_queue<> q(sync::spin_policy::adaptive(), mem::pooled_hp_reclaimer{&dom});
     std::vector<std::thread> ts;
     for (int t = 0; t < 4; ++t)
       ts.emplace_back([&, t] {

@@ -174,7 +174,7 @@ TEST(TransferQueue, NodesAreReclaimed) {
   {
     mem::hazard_domain dom;
     transfer_queue<> q(sync::spin_policy::adaptive(),
-                       mem::hp_reclaimer{&dom});
+                       mem::pooled_hp_reclaimer{&dom});
     std::thread p([&] {
       for (int i = 0; i < 2000; ++i) q.xfer(tok_of(i), true, wait_kind::sync);
     });

@@ -180,7 +180,7 @@ TEST(TransferStack, NodesAreReclaimed) {
   {
     mem::hazard_domain dom;
     transfer_stack<> s(sync::spin_policy::adaptive(),
-                       mem::hp_reclaimer{&dom});
+                       mem::pooled_hp_reclaimer{&dom});
     std::thread p([&] {
       for (int i = 0; i < 2000; ++i) s.xfer(tok_of(i), true, wait_kind::sync);
     });
