@@ -38,6 +38,7 @@
 #include <cstddef>
 #include <cstdio>
 
+#include "check/schedule_fuzz.hpp"
 #include "core/wait_kind.hpp"
 #include "memory/reclaim.hpp"
 #include "support/cacheline.hpp"
@@ -133,15 +134,18 @@ class transfer_queue {
           s = rec_.template create<qnode>(is_data ? e : empty_token, is_data);
           if (wk == wait_kind::async) s->life.preset_released();
         }
+        SSQ_INTERLEAVE("tq.link");
         if (!t->cas_next(nullptr, s)) {
           diag::bump(diag::id::cas_fail);
           continue;
         }
+        SSQ_INTERLEAVE("tq.linked");
         advance_tail(t, s); // request linearizes at the cas_next above
         if (wk == wait_kind::async) return e;
 
         item_token x = await_fulfill(s, e, dl, tok);
         if (x == s->self_token()) { // we cancelled
+          SSQ_INTERLEAVE("tq.cancelled");
           clean(t, s);
           if (s->life.mark_released()) retire_node(s);
           return empty_token;
@@ -172,7 +176,9 @@ class transfer_queue {
           continue;
         }
         // Fulfilled m: request + follow-up linearize at the cas_item.
+        SSQ_INTERLEAVE("tq.fulfilled");
         advance_head(h, m);
+        SSQ_INTERLEAVE("tq.fulfill.presignal");
         m->slot.signal();
         if (s) rec_.destroy(s); // allocated earlier, never linked
         return is_data ? e : x;
@@ -314,6 +320,7 @@ class transfer_queue {
     if (r != sync::park_slot::wait_result::woken) {
       // Timeout or interrupt: try to cancel. A concurrent fulfiller may
       // beat us, in which case the transfer happened and we honor it.
+      SSQ_INTERLEAVE("tq.cancel.cas");
       s->cas_item(e, s->self_token());
     }
     return s->item.load(std::memory_order_seq_cst);
@@ -333,6 +340,7 @@ class transfer_queue {
   // strip the tag, splices through it fail (they would be unsafe anyway),
   // and the next correctly-validated advance_head pops it.
   void advance_head(qnode *h, qnode *expected_next) {
+    SSQ_INTERLEAVE("tq.pop");
     qnode *nh = freeze_next(h);
     if (nh == nullptr || nh != expected_next) return;
     qnode *expected = h;
@@ -416,6 +424,7 @@ class transfer_queue {
         // itself begun dying (whose own next is tagged). On failure, fall
         // through to the deferred-cleaning block and loop (JDK behaviour):
         // the next iterations shed cancelled heads until s is gone.
+        SSQ_INTERLEAVE("tq.clean.splice");
         qnode *sn = freeze_next(s);
         if (sn != nullptr && pred->cas_next(s, sn)) {
           if (s->life.mark_unlinked()) retire_node(s);
@@ -424,6 +433,7 @@ class transfer_queue {
         }
       }
       // s is the tail (or the splice failed): defer through clean_me_.
+      SSQ_INTERLEAVE("tq.clean.defer");
       qnode *dp = protect_clean_me(hz_d);
       if (dp != nullptr) {
         // Try to finish the previously deferred splice first. dp is pinned

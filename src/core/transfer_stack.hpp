@@ -44,6 +44,7 @@
 #include <cstdio>
 #include <cstdint>
 
+#include "check/schedule_fuzz.hpp"
 #include "core/wait_kind.hpp"
 #include "memory/reclaim.hpp"
 #include "support/cacheline.hpp"
@@ -116,6 +117,7 @@ class transfer_stack {
           s->mode = mode; // may carry a fulfilling bit from a failed attempt
         }
         s->next.store(h, std::memory_order_relaxed);
+        SSQ_INTERLEAVE("ts.push");
         if (!head_.value.compare_exchange_strong(h, s,
                                                  std::memory_order_seq_cst)) {
           diag::bump(diag::id::cas_fail);
@@ -126,6 +128,7 @@ class transfer_stack {
 
         item_token x = await_fulfill(s, dl, tok);
         if (x == s->self_token()) { // cancelled
+          SSQ_INTERLEAVE("ts.cancelled");
           clean(s);
           if (s->life.mark_released()) rec_retire(s);
           return empty_token;
@@ -146,6 +149,7 @@ class transfer_stack {
           s->mode = mode | fulfilling;
         }
         s->next.store(h, std::memory_order_relaxed);
+        SSQ_INTERLEAVE("ts.fulfill.push");
         if (!head_.value.compare_exchange_strong(h, s,
                                                  std::memory_order_seq_cst)) {
           diag::bump(diag::id::cas_fail);
@@ -329,7 +333,19 @@ class transfer_stack {
   // The match linearization (JDK SNode::tryMatch). Returns true when m is
   // matched to s (by us or by an earlier helper with the same pair).
   // Precondition: caller holds a hazard on m that was published while m was
-  // provably live.
+  // provably live, and on s (or owns it).
+  //
+  // Completion is IDEMPOTENT by design: the match is two writes -- the
+  // winner's CAS on m->xword, then the report into s->xword -- and a
+  // different helper can observe the first while the winner is stalled
+  // before the second. Since callers pop the pair on `true`, every thread
+  // that recognizes the existing match must finish the s->xword write
+  // itself (the value is a pure function of the pair, so duplicate stores
+  // agree). Otherwise s's owner could find itself unlinked with xword
+  // still empty, misread that as "retracted from an empty stack", and
+  // restart -- delivering its item a second time (a real double-delivery
+  // the linearizability harness caught as a use-after-free of the
+  // value box under TSan).
   bool try_match(snode *m, snode *s) noexcept {
     // Value written into the waiter: a reservation receives the fulfiller's
     // data token; a data node receives the fulfiller's address as a pure
@@ -337,20 +353,28 @@ class transfer_stack {
     const item_token v = (s->mode & data_mode)
                              ? s->item
                              : reinterpret_cast<item_token>(s);
+    const item_token back = (s->mode & data_mode)
+                                ? reinterpret_cast<item_token>(m)
+                                : m->item;
     item_token expected = empty_token;
     if (m->xword.compare_exchange_strong(expected, v,
                                          std::memory_order_seq_cst)) {
       // Unique winner: report the counterpart into the fulfilling node,
       // then wake the waiter. (Order matters: xword before any pop, so a
       // frozen fulfilling node always implies its xword is set.)
-      const item_token back = (s->mode & data_mode)
-                                  ? reinterpret_cast<item_token>(m)
-                                  : m->item;
+      SSQ_INTERLEAVE("ts.match.mid");
       s->xword.store(back, std::memory_order_seq_cst);
       m->slot.signal();
       return true;
     }
-    return expected == v; // already matched to this same fulfiller
+    if (expected != v) return false; // m cancelled / claimed by another pair
+    // m is matched to this same s, but the winner may still be between its
+    // two stores: complete the fulfiller's side (and the wake) on its
+    // behalf before reporting the pair poppable.
+    if (s->xword.load(std::memory_order_seq_cst) == empty_token)
+      s->xword.store(back, std::memory_order_seq_cst);
+    m->slot.signal();
+    return true;
   }
 
   // Pop the fulfilling node `top` and its matched partner together.
@@ -358,8 +382,33 @@ class transfer_stack {
   // splicers through them then fail, and the installed successor value is
   // immutable (and provably live until the pop, since it could only become
   // head through this very pop).
+  //
+  // The partner is NOT generally covered by a caller hazard (the
+  // helper-finished-our-match path reaches here with none), and a
+  // concurrent thread completing the same pop retires it -- so it must be
+  // protected before it is dereferenced. Validation: `head == top` read
+  // after publishing the hazard proves the partner was not yet retired at
+  // that point (retiring it requires first CASing `top` off the head,
+  // both seq_cst), and the freeze CAS in the same iteration pins the
+  // protected value against concurrent cancelled-partner splices. Nothing
+  // is ever pushed above a fulfilling node, so `head != top` can only mean
+  // the pop (or retraction) already completed elsewhere.
   void pop_pair(snode *top) {
-    snode *m = freeze_next(top); // the matched partner
+    SSQ_INTERLEAVE("ts.pop_pair");
+    typename Reclaimer::slot hz(rec_);
+    snode *m;
+    for (;;) {
+      snode *raw = top->next.load(std::memory_order_seq_cst);
+      m = strip(raw);
+      hz.set(m);
+      if (head_.value.load(std::memory_order_seq_cst) != top)
+        return; // popped or retracted elsewhere; that thread retires
+      if (raw == nullptr) break; // terminal: nothing is inserted below
+      if (tagged(raw)) break;    // already frozen: value final, m protected
+      if (top->next.compare_exchange_strong(raw, with_tag(raw),
+                                            std::memory_order_seq_cst))
+        break;
+    }
     snode *mn = m ? freeze_next(m) : nullptr;
     snode *expected = top;
     if (head_.value.compare_exchange_strong(expected, mn,
@@ -386,7 +435,12 @@ class transfer_stack {
     snode *h = hz_h.protect(head_.value);
     if (h == nullptr || h == s) return;
     // h is protected; reading h->next is safe (strip: h may be dying).
-    if (strip(h->next.load(std::memory_order_acquire)) == s) pop_pair(h);
+    if (strip(h->next.load(std::memory_order_acquire)) != s) return;
+    // Route through try_match rather than popping directly: it verifies h
+    // really is the fulfiller we matched with, and completes h's xword if
+    // the matching thread is still between its two stores -- popping first
+    // would let h's owner mistake the pop for a retraction.
+    if (try_match(s, h)) pop_pair(h);
   }
 
   // Help the fulfilling node h annihilate with its partner. Caller holds a
@@ -431,6 +485,7 @@ class transfer_stack {
     };
     auto r = sync::spin_then_park(s->slot, done, at_front, pol_, dl, tok);
     if (r != sync::park_slot::wait_result::woken) {
+      SSQ_INTERLEAVE("ts.cancel.cas");
       item_token expected = empty_token;
       s->xword.compare_exchange_strong(expected, s->self_token(),
                                        std::memory_order_seq_cst);
@@ -443,6 +498,7 @@ class transfer_stack {
   // possibly-dead successor; the pointer is used for comparison only).
   void clean(snode *s) {
     diag::bump(diag::id::clean_call);
+    SSQ_INTERLEAVE("ts.clean");
     typename Reclaimer::slot hz_p(rec_), hz_q(rec_);
 
     snode *past = strip(s->next.load(std::memory_order_acquire)); // cmp-only
@@ -468,10 +524,13 @@ class transfer_stack {
           return; // p changed under us (dying or raced); give up
         }
       } else {
-        // Advance: transfer protection p <- n (n was validated live by
-        // read_next; re-validate after re-publishing on hz_p).
+        // Advance: transfer protection p <- n. n is covered by hz_q
+        // continuously from read_next's validation until hz_p re-publishes
+        // it, so the chain of custody is unbroken. No re-read of p->next
+        // here: hz_p.set just dropped p's protection, so dereferencing p
+        // again would race its reclamation; if n has since been spliced
+        // out, the next read_next observes it dying and gives up.
         hz_p.set(n);
-        if (p->next.load(std::memory_order_seq_cst) != n) return;
         p = n;
       }
     }

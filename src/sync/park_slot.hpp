@@ -19,11 +19,28 @@
 // prepare() publishes intent with sequentially consistent ordering; signal()
 // observes either the intent (and wakes the futex) or finds the slot idle, in
 // which case the waiter's post-prepare re-check is guaranteed to observe W.
+//
+// Episode hygiene (found by the linearizability harness's audit of node
+// recycling): the state word carries an episode GENERATION in its upper
+// bits next to the phase in its lower two. One wait episode = construction
+// or reset() .. the owner's final read. reset() bumps the generation, so a
+// signal() that read the previous episode's word and lost its CAS
+// recognizes the episode ended and backs off instead of retrying into --
+// and corrupting -- the next episode. For pool-recycled nodes the hazard
+// protocol already orders every signal() before the block can be reused
+// (the fulfiller holds a hazard on the node across the call); the
+// generation turns "relies on a protocol three files away" into a local
+// invariant, and makes slot reuse (bounded_buffer's ring, tests) safe by
+// construction. spin_then_park() additionally disarms the slot on every
+// non-woken exit and on the done-flipped-after-prepare fast path, so a
+// finished episode never leaves `armed` behind: a late same-episode
+// signal() then needs no futex syscall at all.
 #pragma once
 
 #include <atomic>
 #include <cstdint>
 
+#include "check/schedule_fuzz.hpp"
 #include "support/diagnostics.hpp"
 #include "sync/futex.hpp"
 #include "sync/interrupt.hpp"
@@ -33,6 +50,15 @@ namespace ssq::sync {
 
 class park_slot {
   enum : std::uint32_t { idle = 0, armed = 1, signalled = 2 };
+  static constexpr std::uint32_t phase_mask = 3;
+  static constexpr std::uint32_t gen_step = 4;
+
+  static std::uint32_t phase_of(std::uint32_t w) noexcept {
+    return w & phase_mask;
+  }
+  static std::uint32_t gen_of(std::uint32_t w) noexcept {
+    return w & ~phase_mask;
+  }
 
  public:
   park_slot() = default;
@@ -40,8 +66,23 @@ class park_slot {
   park_slot &operator=(const park_slot &) = delete;
 
   // Announce that this thread is about to block. Must be followed by a
-  // re-check of the waited-for condition before wait().
-  void prepare() noexcept { state_.store(armed, std::memory_order_seq_cst); }
+  // re-check of the waited-for condition before wait(). Owner-only (like
+  // wait/disarm/reset); only signal() may be called by other threads.
+  //
+  // A wake that already landed is PRESERVED (LockSupport permit semantics):
+  // if signal() beat us here -- it can land between the guarded-wait loop's
+  // condition check and this call -- the slot stays `signalled`, wait()
+  // returns immediately, and observers like was_signalled() still see the
+  // delivery. A blind store to `armed` would consume-and-erase that one
+  // wake, deadlocking waiters whose fulfiller signals exactly once.
+  void prepare() noexcept {
+    std::uint32_t w = state_.load(std::memory_order_seq_cst);
+    while (phase_of(w) != signalled) {
+      if (state_.compare_exchange_weak(w, gen_of(w) | armed,
+                                       std::memory_order_seq_cst))
+        return;
+    }
+  }
 
   enum class wait_result { woken, timeout, interrupted };
 
@@ -51,6 +92,8 @@ class park_slot {
   wait_result wait(deadline dl, interrupt_token *tok = nullptr) noexcept {
     if (tok && tok->interrupted()) return wait_result::interrupted;
     diag::bump(diag::id::park);
+    const std::uint32_t armed_word =
+        gen_of(state_.load(std::memory_order_seq_cst)) | armed;
     for (;;) {
       deadline chunk = dl;
       if (tok) {
@@ -58,9 +101,9 @@ class park_slot {
         deadline q = deadline::in(interrupt_token::park_quantum());
         if (q.when() < dl.when()) chunk = q;
       }
-      futex_result r = futex_wait(&state_, armed, chunk);
+      futex_result r = futex_wait(&state_, armed_word, chunk);
       if (tok && tok->interrupted()) return wait_result::interrupted;
-      if (state_.load(std::memory_order_seq_cst) != armed)
+      if (state_.load(std::memory_order_seq_cst) != armed_word)
         return wait_result::woken;
       if (r == futex_result::timeout) {
         if (dl.expired_now()) return wait_result::timeout;
@@ -74,21 +117,65 @@ class park_slot {
 
   // Wake the waiter, if any. Called by the fulfiller *after* it has made the
   // waited-for condition true. Safe to call multiple times and when no
-  // waiter ever arrives.
+  // waiter ever arrives. If the episode it observed has already been
+  // retired (reset() bumped the generation), the call backs off without
+  // touching the new episode.
   void signal() noexcept {
-    if (state_.exchange(signalled, std::memory_order_seq_cst) == armed) {
-      diag::bump(diag::id::unpark);
-      futex_wake_all(&state_);
+    SSQ_INTERLEAVE("park.signal");
+    std::uint32_t w = state_.load(std::memory_order_seq_cst);
+    for (;;) {
+      if (phase_of(w) == signalled) return;
+      std::uint32_t observed = w;
+      if (state_.compare_exchange_strong(w, gen_of(observed) | signalled,
+                                         std::memory_order_seq_cst)) {
+        if (phase_of(observed) == armed) {
+          diag::bump(diag::id::unpark);
+          futex_wake_all(&state_);
+        }
+        return;
+      }
+      // CAS failed; `w` holds the fresh word. A generation change means
+      // the episode we were signalling is over -- leaking `signalled` into
+      // the successor episode would be the recycled-node bug this guards
+      // against.
+      if (gen_of(w) != gen_of(observed)) return;
     }
+  }
+
+  // Owner: retract a prepare() whose wait was abandoned (condition flipped
+  // after arming, or wait returned timeout/interrupt). Leaves a concurrent
+  // signal() intact: returns true iff a signal won the race, so the slot
+  // ends this episode idle or signalled, never armed.
+  bool disarm() noexcept {
+    std::uint32_t w = state_.load(std::memory_order_seq_cst);
+    while (phase_of(w) == armed) {
+      if (state_.compare_exchange_weak(w, gen_of(w) | idle,
+                                       std::memory_order_seq_cst))
+        return false;
+    }
+    return phase_of(w) == signalled;
   }
 
   // Rearm for another wait episode (the guarded-wait loop calls prepare()
   // each iteration, so an explicit reset is only needed when a slot is
-  // reused across logically distinct waits, e.g. pooled Java5 nodes).
-  void reset() noexcept { state_.store(idle, std::memory_order_seq_cst); }
+  // reused across logically distinct waits, e.g. bounded_buffer's ring
+  // cells). Bumps the episode generation: a straggling signal() from the
+  // previous episode can no longer mark the new one signalled.
+  void reset() noexcept {
+    std::uint32_t w = state_.load(std::memory_order_seq_cst);
+    state_.store(gen_of(w) + gen_step, std::memory_order_seq_cst);
+  }
 
   bool was_signalled() const noexcept {
-    return state_.load(std::memory_order_seq_cst) == signalled;
+    return phase_of(state_.load(std::memory_order_seq_cst)) == signalled;
+  }
+
+  // Test/diagnostic observers.
+  bool is_armed() const noexcept {
+    return phase_of(state_.load(std::memory_order_seq_cst)) == armed;
+  }
+  std::uint32_t episode() const noexcept {
+    return gen_of(state_.load(std::memory_order_seq_cst)) / gen_step;
   }
 
  private:
@@ -101,6 +188,9 @@ class park_slot {
 //
 // `at_front` (nullary predicate) reports whether this waiter is next in line
 // for fulfillment; per the paper, only front waiters spin the long count.
+//
+// Post-condition (episode hygiene): the slot is never left `armed` --
+// every exit path either observed a wake or explicitly disarms.
 template <typename DonePred, typename FrontPred>
 park_slot::wait_result spin_then_park(park_slot &slot, DonePred done,
                                       FrontPred at_front, spin_policy pol,
@@ -130,9 +220,16 @@ park_slot::wait_result spin_then_park(park_slot &slot, DonePred done,
   for (;;) {
     if (done()) return park_slot::wait_result::woken;
     slot.prepare();
-    if (done()) return park_slot::wait_result::woken;
+    SSQ_INTERLEAVE("park.post_prepare");
+    if (done()) {
+      slot.disarm(); // hygiene: do not exit an episode armed
+      return park_slot::wait_result::woken;
+    }
     auto r = slot.wait(dl, tok);
-    if (r != park_slot::wait_result::woken) return r;
+    if (r != park_slot::wait_result::woken) {
+      slot.disarm();
+      return r;
+    }
   }
 }
 

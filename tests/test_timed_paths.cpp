@@ -1,0 +1,322 @@
+// Timed-operation edge cases (table-driven) and park_slot episode hygiene.
+//
+// The timed paths are where the cancellation protocol earns its keep:
+// zero/negative patience must degrade to wait_kind::now semantics, a
+// deadline can expire in the spin phase (never parking) or in the park
+// phase (kernel timeout), and an interrupt can land exactly while a timeout
+// is already cancelling. Each edge gets a deterministic test here; the
+// randomized linearize workload (test_linearize_check.cpp) covers the
+// interleavings.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+#include <vector>
+
+#include "core/synchronous_queue.hpp"
+#include "support/diagnostics.hpp"
+#include "sync/interrupt.hpp"
+#include "sync/park_slot.hpp"
+#include "sync/spin_policy.hpp"
+
+using namespace ssq;
+using namespace ssq::sync;
+using namespace std::chrono;
+
+namespace {
+
+// A deadline the op must treat as "do not wait": the facades route the
+// expired() sentinel to wait_kind::now, while at(past) runs the timed path
+// with an already-expired clock -- both must fail fast on an empty queue.
+struct no_wait_case {
+  const char *name;
+  deadline (*make)();
+};
+
+const no_wait_case kNoWaitCases[] = {
+    {"expired-sentinel", [] { return deadline::expired(); }},
+    {"zero-patience", [] { return deadline::in(nanoseconds(0)); }},
+    {"negative-patience", [] { return deadline::in(milliseconds(-5)); }},
+    {"past-absolute",
+     [] { return deadline::at(steady_clock::now() - seconds(1)); }},
+};
+
+template <bool Fair>
+void run_no_wait_table() {
+  auto q = std::make_shared<synchronous_queue<std::uint64_t, Fair>>();
+  for (const auto &c : kNoWaitCases) {
+    SCOPED_TRACE(c.name);
+    auto t0 = steady_clock::now();
+    EXPECT_FALSE(q->offer(1, c.make())) << c.name;
+    EXPECT_FALSE(q->poll(c.make()).has_value()) << c.name;
+    // "Fail fast": nothing resembling a 20ms park, let alone a hang.
+    EXPECT_LT(steady_clock::now() - t0, milliseconds(250)) << c.name;
+    // The op must leave no residue: a subsequent rendezvous still works.
+    std::thread taker([&] { EXPECT_EQ(q->take(), 7u); });
+    q->put(7);
+    taker.join();
+  }
+}
+
+} // namespace
+
+TEST(TimedPaths, NoWaitTableFair) { run_no_wait_table<true>(); }
+TEST(TimedPaths, NoWaitTableUnfair) { run_no_wait_table<false>(); }
+
+TEST(TimedPaths, ZeroAndNegativePatienceAreNowEquivalent) {
+  // deadline::in(d <= 0) collapses to the expired() sentinel, so the facade
+  // must choose the wait_kind::now path -- no node is ever parked.
+  EXPECT_TRUE(deadline::in(nanoseconds(0)).when() ==
+              deadline::expired().when());
+  EXPECT_TRUE(deadline::in(milliseconds(-5)).when() ==
+              deadline::expired().when());
+  diag::snapshot before = diag::snapshot::take();
+  auto q = std::make_shared<synchronous_queue<std::uint64_t, true>>();
+  for (int i = 0; i < 64; ++i) {
+    EXPECT_FALSE(q->offer(1, deadline::in(nanoseconds(0))));
+    EXPECT_FALSE(q->poll(deadline::in(milliseconds(-1))).has_value());
+  }
+  diag::snapshot d = diag::snapshot::take() - before;
+  EXPECT_EQ(d[diag::id::park], 0u) << "a zero-patience op parked";
+}
+
+TEST(TimedPaths, DeadlineExpiresInSpinPhase) {
+  // spin_only never parks: the deadline must be noticed inside the spin
+  // loop itself.
+  auto q = std::make_shared<synchronous_queue<std::uint64_t, true>>(
+      spin_policy::spin_only());
+  diag::snapshot before = diag::snapshot::take();
+  auto t0 = steady_clock::now();
+  EXPECT_FALSE(q->offer(1, deadline::in(milliseconds(10))));
+  auto elapsed = steady_clock::now() - t0;
+  diag::snapshot d = diag::snapshot::take() - before;
+  EXPECT_GE(elapsed, milliseconds(8));
+  EXPECT_LT(elapsed, milliseconds(500));
+  EXPECT_EQ(d[diag::id::park], 0u) << "spin_only policy parked";
+  EXPECT_GT(d[diag::id::spin_retry], 0u);
+}
+
+TEST(TimedPaths, DeadlineExpiresInParkPhase) {
+  // park_only spins zero times: the deadline must be enforced by the kernel
+  // wait, and the cancel CAS must run on the way out.
+  auto q = std::make_shared<synchronous_queue<std::uint64_t, true>>(
+      spin_policy::park_only());
+  diag::snapshot before = diag::snapshot::take();
+  auto t0 = steady_clock::now();
+  EXPECT_FALSE(q->offer(1, deadline::in(milliseconds(20))));
+  auto elapsed = steady_clock::now() - t0;
+  diag::snapshot d = diag::snapshot::take() - before;
+  EXPECT_GE(elapsed, milliseconds(15));
+  EXPECT_LT(elapsed, milliseconds(800));
+  EXPECT_GT(d[diag::id::park], 0u) << "park_only policy never parked";
+  // The cancelled node must not satisfy a later consumer.
+  EXPECT_FALSE(q->poll(deadline::expired()).has_value());
+}
+
+TEST(TimedPaths, InterruptDuringCancellationWindow) {
+  // Race an interrupt against a deadline that expires at ~the same moment,
+  // across both roles and many phase offsets. Whatever wins, the op fails
+  // exactly once, nothing transfers, and the structure stays usable.
+  auto q = std::make_shared<synchronous_queue<std::uint64_t, true>>(
+      spin_policy::park_only());
+  for (int i = 0; i < 24; ++i) {
+    interrupt_token tok;
+    const auto patience = microseconds(500 + 400 * (i % 5));
+    std::atomic<int> failures{0};
+    std::thread op([&] {
+      bool ok;
+      if (i % 2 == 0)
+        ok = q->offer(1000 + static_cast<std::uint64_t>(i),
+                      deadline::in(patience), &tok);
+      else
+        ok = q->poll(deadline::in(patience), &tok).has_value();
+      if (!ok) failures.fetch_add(1);
+    });
+    std::this_thread::sleep_for(microseconds(300 + 150 * (i % 7)));
+    tok.interrupt();
+    op.join();
+    EXPECT_EQ(failures.load(), 1) << "iteration " << i;
+    // No residue: the queue is empty and still functions.
+    EXPECT_FALSE(q->poll(deadline::expired()).has_value())
+        << "cancelled producer's value leaked at iteration " << i;
+  }
+  std::thread taker([&] { EXPECT_EQ(q->take(), 42u); });
+  q->put(42);
+  taker.join();
+}
+
+// --------------------------------------------------------- park_slot unit
+
+TEST(ParkSlotEpisode, DisarmRetractsPrepare) {
+  park_slot s;
+  s.prepare();
+  EXPECT_TRUE(s.is_armed());
+  EXPECT_FALSE(s.disarm()); // no signal arrived
+  EXPECT_FALSE(s.is_armed());
+  EXPECT_FALSE(s.was_signalled());
+}
+
+TEST(ParkSlotEpisode, DisarmObservesSignalRace) {
+  park_slot s;
+  s.prepare();
+  s.signal();
+  EXPECT_TRUE(s.disarm()); // signal won; caller must treat it as woken
+  EXPECT_TRUE(s.was_signalled());
+}
+
+TEST(ParkSlotEpisode, PreparePreservesDeliveredSignal) {
+  // Minimized repro of the java5-fair livelock the schedule-fuzz harness
+  // caught: signal() lands between the guarded-wait loop's condition check
+  // and prepare(). prepare() must NOT consume-and-erase that wake (the
+  // fulfiller signals exactly once per episode) -- the slot keeps permit
+  // semantics: wait() returns immediately and was_signalled() stays true,
+  // which java5_sq::settle() spins on.
+  park_slot s;
+  s.signal();  // wake delivered before the waiter armed
+  s.prepare(); // guarded-wait loop arms afterwards
+  EXPECT_TRUE(s.was_signalled()) << "prepare() erased a delivered wake";
+  auto r = s.wait(deadline::in(std::chrono::seconds(5)));
+  EXPECT_EQ(r, park_slot::wait_result::woken);
+  EXPECT_TRUE(s.disarm()); // episode ends signalled, not armed/idle
+  EXPECT_TRUE(s.was_signalled());
+}
+
+TEST(ParkSlotEpisode, ResetBumpsGenerationAndClearsSignal) {
+  park_slot s;
+  const std::uint32_t g0 = s.episode();
+  s.signal();
+  EXPECT_TRUE(s.was_signalled());
+  s.reset();
+  EXPECT_FALSE(s.was_signalled());
+  EXPECT_EQ(s.episode(), g0 + 1);
+  // Signalling the new episode works normally.
+  s.signal();
+  EXPECT_TRUE(s.was_signalled());
+}
+
+TEST(ParkSlotEpisode, SignalIsIdempotent) {
+  park_slot s;
+  s.signal();
+  s.signal();
+  EXPECT_TRUE(s.was_signalled());
+  EXPECT_FALSE(s.is_armed());
+}
+
+TEST(ParkSlotEpisode, SignalWakesParkedWaiter) {
+  park_slot s;
+  std::atomic<bool> done{false};
+  std::thread waiter([&] {
+    auto r = spin_then_park(
+        s, [&] { return done.load(); }, [] { return true; },
+        spin_policy::park_only(), deadline::unbounded());
+    EXPECT_EQ(r, park_slot::wait_result::woken);
+  });
+  std::this_thread::sleep_for(milliseconds(20));
+  done.store(true);
+  s.signal();
+  waiter.join();
+  EXPECT_FALSE(s.is_armed());
+}
+
+TEST(ParkSlotEpisode, SpinThenParkNeverExitsArmed) {
+  // Satellite regression: every exit path of spin_then_park must leave the
+  // slot disarmed -- a timeout that leaves `armed` behind poisons the next
+  // episode on a recycled node.
+  park_slot s;
+  std::atomic<bool> done{false};
+
+  // Timeout exit.
+  auto r = spin_then_park(
+      s, [&] { return done.load(); }, [] { return true; },
+      spin_policy::park_only(), deadline::in(milliseconds(10)));
+  EXPECT_EQ(r, park_slot::wait_result::timeout);
+  EXPECT_FALSE(s.is_armed());
+
+  // Interrupted exit.
+  interrupt_token tok;
+  std::thread firer([&] {
+    std::this_thread::sleep_for(milliseconds(10));
+    tok.interrupt();
+  });
+  r = spin_then_park(
+      s, [&] { return done.load(); }, [] { return true; },
+      spin_policy::park_only(), deadline::in(seconds(5)), &tok);
+  firer.join();
+  EXPECT_EQ(r, park_slot::wait_result::interrupted);
+  EXPECT_FALSE(s.is_armed());
+
+  // Done-flips-after-prepare exit (the original hygiene bug): the
+  // fulfiller makes `done` true and signals concurrently with arming;
+  // whichever way the race lands (observed in spin, in the post-prepare
+  // re-check, or via the futex wake), the slot must end disarmed.
+  for (int i = 0; i < 50; ++i) {
+    park_slot s2;
+    std::atomic<bool> d2{false};
+    std::thread fulfiller([&] {
+      d2.store(true);
+      s2.signal();
+    });
+    auto r2 = spin_then_park(
+        s2, [&] { return d2.load(); }, [] { return true; },
+        spin_policy::park_only(), deadline::in(seconds(5)));
+    fulfiller.join();
+    EXPECT_EQ(r2, park_slot::wait_result::woken);
+    EXPECT_FALSE(s2.is_armed()) << "exited armed at iteration " << i;
+  }
+}
+
+TEST(ParkSlotEpisode, StaleSignalCannotPoisonNextEpisode) {
+  // A signal from episode N must not leave `signalled` visible in episode
+  // N+1 (the recycled-node hazard). Single-threaded version: the signal
+  // lands, reset() retires the episode, and the new episode starts clean.
+  park_slot s;
+  for (int round = 0; round < 8; ++round) {
+    s.signal(); // late signal for the old episode
+    s.reset();  // recycle: new episode
+    EXPECT_FALSE(s.was_signalled()) << "round " << round;
+    s.prepare();
+    EXPECT_TRUE(s.is_armed());
+    EXPECT_FALSE(s.disarm());
+  }
+}
+
+TEST(ParkSlotEpisode, RecycleHygieneUnderPooledReclaimer) {
+  // TSan regression for node recycling: hammer the cancellation path (tiny
+  // patience, park_only so every op arms its slot) against real transfers
+  // with the pooled reclaimer (the default), which recycles cancelled
+  // nodes' memory -- including their park_slots -- as fast as possible. Any
+  // signal()-after-recycle misorder is a data race TSan reports and any
+  // lost/duplicated wake shows up as a conservation failure or hang.
+  auto q = std::make_shared<
+      synchronous_queue<std::uint64_t, true, mem::pooled_hp_reclaimer>>(
+      spin_policy::park_only());
+  constexpr int kThreads = 4;
+  constexpr int kOps = 3000;
+  std::atomic<std::uint64_t> in_sum{0}, out_sum{0};
+  std::vector<std::thread> ts;
+  for (int t = 0; t < kThreads; ++t) {
+    ts.emplace_back([&, t] {
+      for (int i = 0; i < kOps; ++i) {
+        const std::uint64_t v =
+            static_cast<std::uint64_t>(t) * kOps + static_cast<std::uint64_t>(i) + 1;
+        if (t % 2 == 0) {
+          if (q->offer(v, deadline::in(microseconds(i % 200))))
+            in_sum.fetch_add(v, std::memory_order_relaxed);
+        } else {
+          if (auto got = q->poll(deadline::in(microseconds(i % 200))))
+            out_sum.fetch_add(*got, std::memory_order_relaxed);
+        }
+      }
+    });
+  }
+  for (auto &t : ts) t.join();
+  // Late-pairing drain: an offer may have succeeded just as its consumer
+  // counterpart timed out recording.
+  for (;;) {
+    auto got = q->poll(deadline::in(milliseconds(50)));
+    if (!got) break;
+    out_sum.fetch_add(*got);
+  }
+  EXPECT_EQ(in_sum.load(), out_sum.load());
+}
