@@ -22,6 +22,7 @@
 #include <type_traits>
 #include <utility>
 
+#include "support/annotations.hpp"
 #include "support/time.hpp"
 #include "sync/fair_lock.hpp"
 #include "sync/interrupt.hpp"
@@ -114,6 +115,8 @@ class java5_sq {
         // Deliver directly to the longest-(or most-recently-)waiting
         // consumer.
         c->item.emplace(std::move(e));
+        SSQ_MO_JUSTIFIED(
+            "release: publishes the item emplace to await()'s acquire load");
         c->state.store(matched, std::memory_order_release);
         c->slot.signal();
         return true;
@@ -132,6 +135,8 @@ class java5_sq {
       std::lock_guard<lock_t> lk(qlock_);
       if (node *c = consumers_.pop()) {
         c->item.emplace(std::move(v));
+        SSQ_MO_JUSTIFIED(
+            "release: publishes the item emplace to await()'s acquire load");
         c->state.store(matched, std::memory_order_release);
         c->slot.signal();
         return true;
@@ -152,6 +157,9 @@ class java5_sq {
       std::lock_guard<lock_t> lk(qlock_);
       if (node *p = producers_.pop()) {
         std::optional<T> e = std::move(p->item);
+        SSQ_MO_JUSTIFIED(
+            "release: lets the producer's await() acquire-read see the item "
+            "was taken before it destroys the stack node");
         p->state.store(matched, std::memory_order_release);
         p->slot.signal();
         return e;
@@ -171,6 +179,9 @@ class java5_sq {
   // must honor it).
   bool await(node &self, deadline dl, sync::interrupt_token *tok) {
     auto done = [&] {
+      SSQ_MO_JUSTIFIED(
+          "acquire: pairs with the matcher's release store; seeing matched "
+          "implies the item transfer is visible");
       return self.state.load(std::memory_order_acquire) != waiting;
     };
     auto r = sync::spin_then_park(
@@ -181,7 +192,11 @@ class java5_sq {
     }
     {
       std::lock_guard<lock_t> lk(qlock_);
+      SSQ_MO_JUSTIFIED(
+          "acquire: under the entry lock, but must still pair with the "
+          "matcher's lock-free release store");
       if (self.state.load(std::memory_order_acquire) == waiting) {
+        SSQ_MO_JUSTIFIED("release: cancellation visible to later matchers");
         self.state.store(cancelled, std::memory_order_release);
         (self.item.has_value() ? producers_ : consumers_).remove(&self);
         return false;

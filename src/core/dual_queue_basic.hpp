@@ -14,6 +14,7 @@
 #include <atomic>
 
 #include "memory/reclaim.hpp"
+#include "support/annotations.hpp"
 #include "support/cacheline.hpp"
 #include "support/codec.hpp"
 #include "support/diagnostics.hpp"
@@ -26,6 +27,7 @@ class dual_queue_basic {
   using codec = item_codec<T>;
 
   struct node {
+    SSQ_GUARDED_BY_HAZARD(rec_)
     std::atomic<node *> next{nullptr};
     std::atomic<item_token> data;
     mem::life_cycle life;
@@ -66,6 +68,9 @@ class dual_queue_basic {
       node *t = hz_t.protect(tail_.value);       // line 06
       node *h = hz_h.protect(head_.value);       // line 07
       if (h == t || !t->is_request) {            // line 08
+        SSQ_MO_JUSTIFIED(
+            "acquire: the seq_cst tail re-check on the next line validates "
+            "the snapshot");
         node *n = t->next.load(std::memory_order_acquire); // line 09
         if (t == tail_.value.load(std::memory_order_seq_cst)) { // line 10
           if (n != nullptr) {                    // line 11
@@ -79,6 +84,8 @@ class dual_queue_basic {
                 return offer->data.load(std::memory_order_seq_cst) == e;
               });
               h = hz_h.protect(head_.value);     // line 17
+              SSQ_MO_JUSTIFIED(
+                  "acquire: comparison-only read under a validated hazard");
               if (offer == h->next.load(std::memory_order_acquire)) // line 18
                 cas_head(h, offer);              // line 19
               if (offer->life.mark_released()) rec_.retire(offer);
@@ -87,6 +94,9 @@ class dual_queue_basic {
           }
         }
       } else {                                   // line 23: reservations
+        SSQ_MO_JUSTIFIED(
+            "acquire: snapshot; the seq_cst re-reads below validate it "
+            "before n is trusted");
         node *n = h->next.load(std::memory_order_acquire); // line 24
         hz_n.set(n);
         if (t != tail_.value.load(std::memory_order_seq_cst) ||
@@ -116,6 +126,9 @@ class dual_queue_basic {
       node *t = hz_t.protect(tail_.value);
       node *h = hz_h.protect(head_.value);
       if (h == t || t->is_request) { // empty or contains reservations
+        SSQ_MO_JUSTIFIED(
+            "acquire: the seq_cst tail re-check on the next line validates "
+            "the snapshot");
         node *n = t->next.load(std::memory_order_acquire);
         if (t == tail_.value.load(std::memory_order_seq_cst)) {
           if (n != nullptr) {
@@ -130,6 +143,8 @@ class dual_queue_basic {
                        empty_token;
               });
               h = hz_h.protect(head_.value);
+              SSQ_MO_JUSTIFIED(
+                  "acquire: comparison-only read under a validated hazard");
               if (req == h->next.load(std::memory_order_acquire))
                 cas_head(h, req);
               item_token got = req->data.load(std::memory_order_seq_cst);
@@ -139,6 +154,9 @@ class dual_queue_basic {
           }
         }
       } else { // queue contains data
+        SSQ_MO_JUSTIFIED(
+            "acquire: snapshot; the seq_cst re-reads below validate it "
+            "before n is trusted");
         node *n = h->next.load(std::memory_order_acquire);
         hz_n.set(n);
         if (t != tail_.value.load(std::memory_order_seq_cst) ||
@@ -160,8 +178,12 @@ class dual_queue_basic {
     }
   }
 
+  // ssq-lint: suppress(hazard-coverage) -- racy observer by contract; the
+  // dummy is only retired after head_ moves past it (stale answers OK).
   bool is_empty() const noexcept {
+    SSQ_MO_JUSTIFIED("acquire: racy snapshot, documented approximate");
     node *h = head_.value.load(std::memory_order_acquire);
+    SSQ_MO_JUSTIFIED("acquire: racy snapshot, documented approximate");
     return h->next.load(std::memory_order_acquire) == nullptr;
   }
 
@@ -184,7 +206,9 @@ class dual_queue_basic {
   }
 
   Reclaimer rec_;
+  SSQ_GUARDED_BY_HAZARD(rec_)
   padded_atomic<node *> head_;
+  SSQ_GUARDED_BY_HAZARD(rec_)
   padded_atomic<node *> tail_;
 };
 

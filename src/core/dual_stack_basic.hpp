@@ -15,6 +15,7 @@
 #include <atomic>
 
 #include "memory/reclaim.hpp"
+#include "support/annotations.hpp"
 #include "support/cacheline.hpp"
 #include "support/codec.hpp"
 #include "support/diagnostics.hpp"
@@ -28,6 +29,7 @@ class dual_stack_basic {
   enum : unsigned { req_mode = 0, data_mode = 1, fulfilling = 2 };
 
   struct node {
+    SSQ_GUARDED_BY_HAZARD(rec_)
     std::atomic<node *> next{nullptr};
     std::atomic<item_token> match{empty_token};
     item_token data; // immutable after construction
@@ -64,6 +66,7 @@ class dual_stack_basic {
   T pop() { return codec::decode_consume(transfer(empty_token, req_mode)); }
 
   bool is_empty() const noexcept {
+    SSQ_MO_JUSTIFIED("acquire: racy snapshot, no dereference follows");
     return head_.value.load(std::memory_order_acquire) == nullptr;
   }
 
@@ -81,6 +84,9 @@ class dual_stack_basic {
         } else {
           d->mode = mode;
         }
+        SSQ_MO_JUSTIFIED(
+            "relaxed: pre-publication store; the seq_cst head CAS below "
+            "releases the node");
         d->next.store(h, std::memory_order_relaxed); // line 08
         if (!head_.value.compare_exchange_strong(
                 h, d, std::memory_order_seq_cst)) // line 09
@@ -90,6 +96,8 @@ class dual_stack_basic {
         });
         item_token m = d->match.load(std::memory_order_seq_cst);
         h = hz_h.protect(head_.value);            // line 13
+        SSQ_MO_JUSTIFIED(
+            "acquire: comparison-only read under a validated hazard on h");
         if (h != nullptr &&
             d == h->next.load(std::memory_order_acquire)) { // line 14
           pop_two(h, read_next_of(d, hz_n));      // line 15
@@ -102,16 +110,21 @@ class dual_stack_basic {
         } else {
           d->mode = mode | fulfilling;
         }
+        SSQ_MO_JUSTIFIED(
+            "relaxed: pre-publication store; the seq_cst head CAS below "
+            "releases the node");
         d->next.store(h, std::memory_order_relaxed);
         if (!head_.value.compare_exchange_strong(
                 h, d, std::memory_order_seq_cst)) // line 19
           continue;                               // line 20
-        node *hh = d->next.load(std::memory_order_relaxed); // line 21 (== h)
-        // hh cannot be unlinked before it is matched, and we hold a hazard
-        // on it from the protect above; read its payload pre-match.
-        item_token theirs = hh->data;
-        node *n = read_next_of(hh, hz_n);         // line 22
-        match_word(hh, d);                        // line 23
+        // Listing 6 line 21 re-reads d->next here; that re-read is not
+        // covered by any hazard (the lint's hazard-coverage check catches
+        // it). `h` -- the displaced head d->next was stored from, still
+        // covered by hz_h -- is the same node, and cannot be unlinked
+        // before it is matched.
+        item_token theirs = h->data;
+        node *n = read_next_of(h, hz_n);          // line 22
+        match_word(h, d);                         // line 23
         pop_two_from(d, n);                       // line 24
         if (d->life.mark_released()) rec_.retire(d);
         return (mode == req_mode) ? theirs : e;   // line 25
@@ -146,8 +159,12 @@ class dual_stack_basic {
   // Protected read of x->next (same validation argument as the full
   // implementation: a successor can only be retired after its predecessor
   // is unlinked or repointed).
+  SSQ_ACQUIRES_HAZARD
   node *read_next_of(node *x, typename Reclaimer::slot &hz) noexcept {
     for (;;) {
+      SSQ_MO_JUSTIFIED(
+          "acquire: first half of publish-and-revalidate; the seq_cst "
+          "re-read below is the ordering anchor");
       node *n = x->next.load(std::memory_order_acquire);
       hz.set(n);
       if (x->life.is_unlinked()) return n; // caller rechecks
@@ -156,7 +173,14 @@ class dual_stack_basic {
   }
 
   // Pop fulfiller `top` and its matched partner: head: top -> rest.
+  // `partner` is only dereferenced after this thread wins the head CAS that
+  // unlinks it; life_cycle arbitration then guarantees it cannot be retired
+  // before our mark_unlinked resolves (no splicing in the basic variant).
+  // ssq-lint: suppress(hazard-coverage) -- see the paragraph above.
   void pop_two_from(node *top, node *rest) {
+    SSQ_MO_JUSTIFIED(
+        "acquire: next is immutable once the pair is at the top (no "
+        "cancellation in the basic variant); CAS success validates it");
     node *partner = top->next.load(std::memory_order_acquire);
     node *expected = top;
     if (head_.value.compare_exchange_strong(expected, rest,
@@ -177,6 +201,7 @@ class dual_stack_basic {
   }
 
   Reclaimer rec_;
+  SSQ_GUARDED_BY_HAZARD(rec_)
   padded_atomic<node *> head_;
 };
 

@@ -41,6 +41,7 @@
 #include "check/schedule_fuzz.hpp"
 #include "core/wait_kind.hpp"
 #include "memory/reclaim.hpp"
+#include "support/annotations.hpp"
 #include "support/cacheline.hpp"
 #include "support/codec.hpp"
 #include "support/diagnostics.hpp"
@@ -119,6 +120,9 @@ class transfer_queue {
 
       if (h == t || t->is_data == is_data) {
         // ------------------------------------------------ same-mode: wait
+        SSQ_MO_JUSTIFIED(
+            "acquire: the seq_cst tail re-check on the next line is the "
+            "snapshot validation; this read only needs the node contents");
         qnode *n = t->next.load(std::memory_order_acquire);
         if (t != tail_.value.load(std::memory_order_seq_cst)) continue;
         if (n != nullptr) { // tail lagging (or t dying): help
@@ -157,6 +161,9 @@ class transfer_queue {
         return is_data ? e : x;
       } else {
         // ----------------------------------------- complementary: fulfill
+        SSQ_MO_JUSTIFIED(
+            "acquire: initial snapshot; the seq_cst head/next re-reads below "
+            "validate it before any dereference of m");
         qnode *mr = h->next.load(std::memory_order_acquire);
         qnode *m = strip(mr);
         hz_m.set(m);
@@ -188,18 +195,26 @@ class transfer_queue {
 
   // ------------------------------------------------------------ observers
 
+  // ssq-lint: suppress(hazard-coverage) -- racy observer by contract; the
+  // dummy is only retired after head_ moves past it (stale answers OK).
   bool is_empty() const noexcept {
     // Racy observer (tests/examples): true when only the dummy remains.
+    SSQ_MO_JUSTIFIED("acquire: racy snapshot, documented approximate");
     qnode *h = head_.value.load(std::memory_order_acquire);
+    SSQ_MO_JUSTIFIED("acquire: racy snapshot, documented approximate");
     return strip(h->next.load(std::memory_order_acquire)) == nullptr;
   }
 
   // Number of linked nodes (excluding the dummy), counting cancelled ones:
   // the metric the cancelled-node-buildup tests bound. Racy; single-threaded
   // use only.
+  // ssq-lint: suppress(hazard-coverage) -- racy observer by contract (the
+  // `unsafe_` prefix is the documentation); callers must quiesce first.
   std::size_t unsafe_length() const noexcept {
     std::size_t n = 0;
+    SSQ_MO_JUSTIFIED("acquire: racy traversal, documented unsafe");
     qnode *p = head_.value.load(std::memory_order_acquire);
+    SSQ_MO_JUSTIFIED("acquire: racy traversal, documented unsafe");
     for (p = strip(p->next.load(std::memory_order_acquire)); p;
          p = strip(p->next.load(std::memory_order_acquire)))
       ++n;
@@ -207,8 +222,12 @@ class transfer_queue {
   }
 
   // True when the next waiting node (if any) is a data node. Racy.
+  // ssq-lint: suppress(hazard-coverage) -- racy test-only probe of the
+  // immutable is_data field.
   bool head_is_data() const noexcept {
+    SSQ_MO_JUSTIFIED("acquire: racy snapshot probe");
     qnode *h = head_.value.load(std::memory_order_acquire);
+    SSQ_MO_JUSTIFIED("acquire: racy snapshot probe");
     qnode *n = strip(h->next.load(std::memory_order_acquire));
     return n && n->is_data;
   }
@@ -217,15 +236,21 @@ class transfer_queue {
 
   // Diagnostic: dump the linked chain (addresses, modes, item-word class).
   // Racy like the other observers; intended for tests and debugging.
+  // ssq-lint: suppress(hazard-coverage) -- debug-only racy traversal; only
+  // invoked from tests while the structure is quiescent.
   void debug_dump(FILE *f) const {
+    SSQ_MO_JUSTIFIED("acquire: debug-only racy traversal");
     qnode *p = head_.value.load(std::memory_order_acquire);
+    SSQ_MO_JUSTIFIED("acquire: debug-only racy traversal");
     std::fprintf(f, "  tq head=%p tail=%p clean_me=%p\n",
                  static_cast<void *>(p),
                  static_cast<void *>(tail_.value.load(std::memory_order_acquire)),
                  clean_me_.value.load(std::memory_order_acquire));
     int i = 0;
     for (; p && i < 32; ++i) {
+      SSQ_MO_JUSTIFIED("acquire: debug-only racy traversal");
       qnode *raw = p->next.load(std::memory_order_acquire);
+      SSQ_MO_JUSTIFIED("acquire: debug-only racy traversal");
       item_token it = p->item.load(std::memory_order_acquire);
       const char *cls = it == empty_token                ? "empty"
                         : it == p->self_token()          ? "CANCELLED"
@@ -265,6 +290,7 @@ class transfer_queue {
   }
 
   struct qnode {
+    SSQ_GUARDED_BY_HAZARD(rec_)
     std::atomic<qnode *> next{nullptr};
     std::atomic<item_token> item;
     sync::park_slot slot;
@@ -277,6 +303,9 @@ class transfer_queue {
       return reinterpret_cast<item_token>(this);
     }
     bool is_cancelled() const noexcept {
+      SSQ_MO_JUSTIFIED(
+          "acquire: pairs with the seq_cst cancel CAS; a reader that sees "
+          "the self-token also sees the owner's prior writes");
       return item.load(std::memory_order_acquire) == self_token();
     }
     bool cas_item(item_token expected, item_token desired) noexcept {
@@ -292,6 +321,7 @@ class transfer_queue {
   // Freeze n's next pointer (idempotent) and return the stripped successor.
   // A null next is NOT frozen (tagging the append point would wedge the
   // queue); returns nullptr and the caller must re-evaluate.
+  SSQ_RETURNS_UNPROTECTED
   static qnode *freeze_next(qnode *n) noexcept {
     for (;;) {
       qnode *raw = n->next.load(std::memory_order_seq_cst);
@@ -314,6 +344,7 @@ class transfer_queue {
     auto at_front = [&] {
       typename Reclaimer::slot hz(rec_);
       qnode *h = hz.protect(head_.value);
+      SSQ_MO_JUSTIFIED("acquire: comparison-only spin heuristic read");
       return strip(h->next.load(std::memory_order_acquire)) == s;
     };
     auto r = sync::spin_then_park(s->slot, done, at_front, pol_, dl, tok);
@@ -354,6 +385,9 @@ class transfer_queue {
     // Hygiene: drop a clean_me registration that points at the dying node's
     // record (the external-root scan makes any transient staleness safe;
     // this just stops pinning it).
+    SSQ_MO_JUSTIFIED(
+        "acquire: hygiene-only read; staleness is safe because the "
+        "external-root scan pins whatever clean_me_ holds");
     void *cm = clean_me_.value.load(std::memory_order_acquire);
     if (cm == static_cast<void *>(n))
       clean_me_.value.compare_exchange_strong(cm, nullptr,
@@ -394,6 +428,9 @@ class transfer_queue {
     while (!s->life.is_unlinked() &&
            strip(pred->next.load(std::memory_order_seq_cst)) == s) {
       qnode *h = hz_h.protect(head_.value);
+      SSQ_MO_JUSTIFIED(
+          "acquire: snapshot; the seq_cst head/next re-reads below validate "
+          "it before hn is trusted");
       qnode *hnr = h->next.load(std::memory_order_acquire);
       qnode *hn = strip(hnr);
       hz_x.set(hn);
@@ -411,6 +448,9 @@ class transfer_queue {
       }
       qnode *t = hz_t.protect(tail_.value);
       if (t == h) return; // queue empty: s is no longer linked
+      SSQ_MO_JUSTIFIED(
+          "acquire: the seq_cst tail re-check on the next line validates "
+          "the snapshot; tn itself is never dereferenced");
       qnode *tn = t->next.load(std::memory_order_acquire);
       if (t != tail_.value.load(std::memory_order_seq_cst)) continue;
       if (tn != nullptr) {
@@ -441,6 +481,9 @@ class transfer_queue {
         // same way as hn above: an untagged, unchanged dp->next proves dp
         // has not begun dying, hence d (unlinkable only after dp dies or
         // dp->next moves) was live when its hazard was published.
+        SSQ_MO_JUSTIFIED(
+            "acquire: snapshot; the seq_cst dp->next re-read below "
+            "validates it before d is trusted");
         qnode *dr = dp->next.load(std::memory_order_acquire);
         qnode *d = strip(dr);
         hz_e.set(d);
@@ -475,6 +518,9 @@ class transfer_queue {
     typename Reclaimer::slot hz_h(rec_), hz_x(rec_);
     for (;;) {
       qnode *h = hz_h.protect(head_.value);
+      SSQ_MO_JUSTIFIED(
+          "acquire: snapshot; the seq_cst head/next re-reads below validate "
+          "it before hn is trusted");
       qnode *hnr = h->next.load(std::memory_order_acquire);
       qnode *hn = strip(hnr);
       hz_x.set(hn);
@@ -491,8 +537,12 @@ class transfer_queue {
     }
   }
 
+  SSQ_ACQUIRES_HAZARD
   qnode *protect_clean_me(typename Reclaimer::slot &hz) noexcept {
     for (;;) {
+      SSQ_MO_JUSTIFIED(
+          "acquire: first half of the publish-and-revalidate protect loop; "
+          "the seq_cst re-read below is the ordering anchor");
       void *p = clean_me_.value.load(std::memory_order_acquire);
       hz.set(static_cast<qnode *>(p));
       if (clean_me_.value.load(std::memory_order_seq_cst) == p)
@@ -511,8 +561,11 @@ class transfer_queue {
   cleaning_policy cleaning_;
   void (*disposer_)(item_token) = nullptr;
 
+  SSQ_GUARDED_BY_HAZARD(rec_)
   padded_atomic<qnode *> head_;
+  SSQ_GUARDED_BY_HAZARD(rec_)
   padded_atomic<qnode *> tail_;
+  SSQ_GUARDED_BY_HAZARD(rec_)
   padded_atomic<void *> clean_me_;
 };
 

@@ -47,6 +47,7 @@
 #include "check/schedule_fuzz.hpp"
 #include "core/wait_kind.hpp"
 #include "memory/reclaim.hpp"
+#include "support/annotations.hpp"
 #include "support/cacheline.hpp"
 #include "support/codec.hpp"
 #include "support/diagnostics.hpp"
@@ -116,6 +117,9 @@ class transfer_stack {
         } else {
           s->mode = mode; // may carry a fulfilling bit from a failed attempt
         }
+        SSQ_MO_JUSTIFIED(
+            "relaxed: pre-publication store; the seq_cst head CAS below "
+            "releases the node");
         s->next.store(h, std::memory_order_relaxed);
         SSQ_INTERLEAVE("ts.push");
         if (!head_.value.compare_exchange_strong(h, s,
@@ -148,6 +152,9 @@ class transfer_stack {
         } else {
           s->mode = mode | fulfilling;
         }
+        SSQ_MO_JUSTIFIED(
+            "relaxed: pre-publication store; the seq_cst head CAS below "
+            "releases the node");
         s->next.store(h, std::memory_order_relaxed);
         SSQ_INTERLEAVE("ts.fulfill.push");
         if (!head_.value.compare_exchange_strong(h, s,
@@ -220,18 +227,25 @@ class transfer_stack {
   // ------------------------------------------------------------ observers
 
   bool is_empty() const noexcept {
+    SSQ_MO_JUSTIFIED("acquire: racy snapshot, no dereference follows");
     return head_.value.load(std::memory_order_acquire) == nullptr;
   }
 
+  // ssq-lint: suppress(hazard-coverage) -- racy observer by contract (the
+  // `unsafe_` prefix is the documentation); callers must quiesce first.
   std::size_t unsafe_length() const noexcept {
     std::size_t n = 0;
+    SSQ_MO_JUSTIFIED("acquire: racy traversal, documented unsafe");
     for (snode *p = head_.value.load(std::memory_order_acquire); p;
          p = strip(p->next.load(std::memory_order_acquire)))
       ++n;
     return n;
   }
 
+  // ssq-lint: suppress(hazard-coverage) -- single racy probe of the top
+  // node's immutable mode field; used by tests only.
   bool head_is_data() const noexcept {
+    SSQ_MO_JUSTIFIED("acquire: racy snapshot probe");
     snode *h = head_.value.load(std::memory_order_acquire);
     return h && (h->mode & data_mode);
   }
@@ -239,12 +253,17 @@ class transfer_stack {
   Reclaimer &reclaimer() noexcept { return rec_; }
 
   // Diagnostic: dump the chain from head. Racy; for tests and debugging.
+  // ssq-lint: suppress(hazard-coverage) -- debug-only racy traversal; only
+  // invoked from tests while the structure is quiescent.
   void debug_dump(FILE *f) const {
+    SSQ_MO_JUSTIFIED("acquire: debug-only racy traversal");
     snode *p = head_.value.load(std::memory_order_acquire);
     std::fprintf(f, "  ts head=%p\n", static_cast<void *>(p));
     int i = 0;
     for (; p && i < 32; ++i) {
+      SSQ_MO_JUSTIFIED("acquire: debug-only racy traversal");
       snode *raw = p->next.load(std::memory_order_acquire);
+      SSQ_MO_JUSTIFIED("acquire: debug-only racy traversal");
       item_token xw = p->xword.load(std::memory_order_acquire);
       const char *cls = xw == empty_token       ? "waiting"
                         : xw == p->self_token() ? "CANCELLED"
@@ -271,6 +290,7 @@ class transfer_stack {
   }
 
   struct snode {
+    SSQ_GUARDED_BY_HAZARD(rec_)
     std::atomic<snode *> next{nullptr};
     std::atomic<item_token> xword{empty_token}; // see file comment
     item_token item;                            // immutable after creation
@@ -284,6 +304,9 @@ class transfer_stack {
       return reinterpret_cast<item_token>(this);
     }
     bool is_cancelled() const noexcept {
+      SSQ_MO_JUSTIFIED(
+          "acquire: pairs with the seq_cst cancel CAS; a reader that sees "
+          "the self-token also sees the owner's prior writes");
       return xword.load(std::memory_order_acquire) == self_token();
     }
     bool cas_next(snode *expected, snode *desired) noexcept {
@@ -295,6 +318,7 @@ class transfer_stack {
   // Freeze n's next pointer (idempotent); returns the stripped successor.
   // Null is terminal for a stack node's next (nothing is ever inserted
   // below an existing node), so it needs no tag.
+  SSQ_RETURNS_UNPROTECTED
   static snode *freeze_next(snode *n) noexcept {
     for (;;) {
       snode *raw = n->next.load(std::memory_order_seq_cst);
@@ -321,6 +345,7 @@ class transfer_stack {
     snode *node;
     bool x_dying;
   };
+  SSQ_ACQUIRES_HAZARD
   next_read read_next(snode *x, typename Reclaimer::slot &hz) noexcept {
     for (;;) {
       snode *raw = x->next.load(std::memory_order_seq_cst);
@@ -435,6 +460,9 @@ class transfer_stack {
     snode *h = hz_h.protect(head_.value);
     if (h == nullptr || h == s) return;
     // h is protected; reading h->next is safe (strip: h may be dying).
+    SSQ_MO_JUSTIFIED(
+        "acquire: comparison-only read; the decisive ordering comes from "
+        "try_match/pop_pair's seq_cst operations");
     if (strip(h->next.load(std::memory_order_acquire)) != s) return;
     // Route through try_match rather than popping directly: it verifies h
     // really is the fulfiller we matched with, and completes h's xword if
@@ -501,6 +529,7 @@ class transfer_stack {
     SSQ_INTERLEAVE("ts.clean");
     typename Reclaimer::slot hz_p(rec_), hz_q(rec_);
 
+    SSQ_MO_JUSTIFIED("acquire: value used for pointer comparison only");
     snode *past = strip(s->next.load(std::memory_order_acquire)); // cmp-only
 
     // Absorb cancelled prefix.
@@ -539,6 +568,7 @@ class transfer_stack {
   Reclaimer rec_;
   sync::spin_policy pol_;
   void (*disposer_)(item_token) = nullptr;
+  SSQ_GUARDED_BY_HAZARD(rec_)
   padded_atomic<snode *> head_;
 };
 

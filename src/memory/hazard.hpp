@@ -28,6 +28,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "support/annotations.hpp"
 #include "support/config.hpp"
 
 namespace ssq::mem {
@@ -74,6 +75,9 @@ class hazard_domain {
     // pointer (if non-null) cannot be freed until this slot changes.
     template <typename T>
     T *protect(const std::atomic<T *> &src) noexcept {
+      SSQ_MO_JUSTIFIED(
+          "acquire suffices for the first guess: the seq_cst re-validation "
+          "load below is what establishes the protect ordering");
       T *p = src.load(std::memory_order_acquire);
       for (;;) {
         set(p);
@@ -89,9 +93,17 @@ class hazard_domain {
       slot_->store(p, std::memory_order_seq_cst);
     }
 
-    void clear() noexcept { slot_->store(nullptr, std::memory_order_release); }
+    void clear() noexcept {
+      SSQ_MO_JUSTIFIED(
+          "release: a scanner that reads null here synchronizes with our "
+          "prior accesses to the node; no later access needs ordering");
+      slot_->store(nullptr, std::memory_order_release);
+    }
 
     const void *get() const noexcept {
+      SSQ_MO_JUSTIFIED(
+          "relaxed: owner-thread read of its own slot, no cross-thread "
+          "ordering derived from the value");
       return slot_->load(std::memory_order_relaxed);
     }
 
@@ -127,10 +139,12 @@ class hazard_domain {
 
   // Approximate count of not-yet-freed retirees across the domain.
   std::size_t approx_retired() const noexcept {
+    SSQ_MO_JUSTIFIED("relaxed: monitoring counter, documented approximate");
     return retired_estimate_.load(std::memory_order_relaxed);
   }
 
   std::size_t record_count() const noexcept {
+    SSQ_MO_JUSTIFIED("relaxed: scan-threshold heuristic, staleness benign");
     return nrecords_.load(std::memory_order_relaxed);
   }
 

@@ -57,6 +57,7 @@
 
 #include "memory/hazard.hpp"
 #include "memory/node_pool.hpp"
+#include "support/annotations.hpp"
 #include "support/diagnostics.hpp"
 
 namespace ssq::mem {
@@ -68,6 +69,10 @@ class life_cycle {
   // Node removed from the structure. Returns true iff the caller must
   // retire the node (i.e. this is the first unlink and the owner is done).
   bool mark_unlinked() noexcept {
+    SSQ_MO_JUSTIFIED(
+        "acq_rel: release publishes the unlinker's writes to whoever "
+        "retires; acquire sees the owner's final writes if released_bit "
+        "is already set");
     auto old = bits_.fetch_or(unlinked_bit, std::memory_order_acq_rel);
     if (old & unlinked_bit) return false; // someone else unlinked first
     return (old & released_bit) != 0;
@@ -76,6 +81,9 @@ class life_cycle {
   // Owner (the waiter that created the node) will never touch it again.
   // Returns true iff the caller must retire the node.
   bool mark_released() noexcept {
+    SSQ_MO_JUSTIFIED(
+        "acq_rel: mirror of mark_unlinked -- the second of the two "
+        "fetch_ors must observe the first party's writes before retiring");
     auto old = bits_.fetch_or(released_bit, std::memory_order_acq_rel);
     SSQ_ASSERT((old & released_bit) == 0, "double owner release");
     return (old & unlinked_bit) != 0;
@@ -84,10 +92,16 @@ class life_cycle {
   // For nodes with no waiting owner (dummies, async producers' nodes):
   // retire responsibility falls entirely on the unlinker.
   void preset_released() noexcept {
+    SSQ_MO_JUSTIFIED(
+        "relaxed: runs before the node is published (no concurrent reader); "
+        "the publishing CAS provides the release fence");
     bits_.store(released_bit, std::memory_order_relaxed);
   }
 
   bool is_unlinked() const noexcept {
+    SSQ_MO_JUSTIFIED(
+        "acquire: pairs with mark_unlinked's release half so a reader that "
+        "sees the bit also sees the unlinker's preceding writes");
     return bits_.load(std::memory_order_acquire) & unlinked_bit;
   }
 
@@ -247,6 +261,9 @@ struct basic_deferred_reclaimer {
 
     template <typename T>
     T *protect(const std::atomic<T *> &src) noexcept {
+      SSQ_MO_JUSTIFIED(
+          "acquire: deferred reclamation never frees during operation, so "
+          "protect only needs to see the node's initialization");
       return src.load(std::memory_order_acquire);
     }
     template <typename T>
@@ -270,7 +287,11 @@ struct basic_deferred_reclaimer {
   void retire(Node *n) {
     diag::bump(diag::id::node_retire);
     auto *t = new tombstone{n, Alloc::template deleter<Node>(), nullptr};
+    SSQ_MO_JUSTIFIED("acquire: must see the pushed tombstone's next field");
     tombstone *h = head_.load(std::memory_order_acquire);
+    SSQ_MO_JUSTIFIED(
+        "acq_rel on success publishes t->next; acquire on failure re-reads "
+        "the list head consistently");
     do {
       t->next = h;
     } while (!head_.compare_exchange_weak(h, t, std::memory_order_acq_rel,

@@ -41,6 +41,7 @@
 #include <cstdint>
 
 #include "check/schedule_fuzz.hpp"
+#include "support/annotations.hpp"
 #include "support/diagnostics.hpp"
 #include "sync/futex.hpp"
 #include "sync/interrupt.hpp"
@@ -192,6 +193,7 @@ class park_slot {
 // Post-condition (episode hygiene): the slot is never left `armed` --
 // every exit path either observed a wake or explicitly disarms.
 template <typename DonePred, typename FrontPred>
+SSQ_REQUIRES_EPISODE_RESET
 park_slot::wait_result spin_then_park(park_slot &slot, DonePred done,
                                       FrontPred at_front, spin_policy pol,
                                       deadline dl,

@@ -1,0 +1,32 @@
+// ssq-lint fixture: the pre-PR-3 `spin_then_park` episode bugs, verbatim in
+// shape. Two paths return while the slot is still armed: the re-check after
+// prepare() and the timeout/interrupt path after wait(). A later signal()
+// from the fulfilling thread would then target a dead episode (or, worse,
+// the slot's next episode). ssq-lint must report park-episode on both
+// returns.
+//
+// The fixed version (src/sync/park_slot.hpp spin_then_park) disarms on both
+// paths before returning.
+#include "../../src/support/annotations.hpp"
+#include "fixture_support.hpp"
+
+namespace fix {
+
+template <typename DonePred>
+park_slot::wait_result bad_spin_then_park(park_slot &slot, DonePred done,
+                                          deadline dl, interrupt_token *tok) {
+  for (int spins = 0; spins < 64; ++spins) {
+    if (done()) return park_slot::wait_result::woken;
+  }
+  for (;;) {
+    slot.prepare();
+    // BUG: returns with the episode still armed.
+    if (done()) return park_slot::wait_result::woken;
+    park_slot::wait_result r = slot.wait(dl, tok);
+    // BUG: timeout/interrupt also leaves the episode armed.
+    if (r != park_slot::wait_result::woken) return r;
+    return r;
+  }
+}
+
+} // namespace fix

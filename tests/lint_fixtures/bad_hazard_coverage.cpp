@@ -1,0 +1,66 @@
+// ssq-lint fixture: the pre-PR-3 dual-stack `pop_pair` bug, verbatim in
+// shape. The fulfilling pop freezes the top node's successor and then
+// dereferences the matched partner `m` (freeze_next(m), m->life) without
+// ever covering it with a hazard slot -- a concurrent `clean()` could have
+// retired and freed it. ssq-lint must report hazard-coverage on `m`.
+//
+// The fixed version (src/core/dual_stack_basic.hpp pop_two_from) re-reads
+// through a protected pointer instead.
+#include <atomic>
+#include <cstdint>
+
+#include "../../src/support/annotations.hpp"
+#include "fixture_support.hpp"
+
+namespace fix {
+
+class bad_stack {
+  struct snode {
+    SSQ_GUARDED_BY_HAZARD(rec_)
+    std::atomic<snode *> next{nullptr};
+    life_cycle life;
+  };
+
+  static snode *strip(snode *p) noexcept {
+    return reinterpret_cast<snode *>(reinterpret_cast<std::uintptr_t>(p) &
+                                     ~std::uintptr_t(1));
+  }
+  static snode *with_tag(snode *p) noexcept {
+    return reinterpret_cast<snode *>(reinterpret_cast<std::uintptr_t>(p) | 1);
+  }
+  static bool tagged(snode *p) noexcept {
+    return (reinterpret_cast<std::uintptr_t>(p) & 1) != 0;
+  }
+
+  SSQ_RETURNS_UNPROTECTED
+  static snode *freeze_next(snode *n) noexcept {
+    for (;;) {
+      snode *raw = n->next.load(std::memory_order_seq_cst);
+      if (raw == nullptr) return nullptr;
+      if (tagged(raw)) return strip(raw);
+      if (n->next.compare_exchange_weak(raw, with_tag(raw),
+                                        std::memory_order_seq_cst))
+        return raw;
+    }
+  }
+
+  void rec_retire(snode *n) { rec_.retire(n); }
+
+  // `m` is a raw successor value out of freeze_next; nothing pins it before
+  // the dereferences below.
+  void pop_pair(snode *top) {
+    snode *m = freeze_next(top);
+    snode *mn = m ? freeze_next(m) : nullptr;
+    snode *expected = top;
+    if (head_.compare_exchange_strong(expected, mn,
+                                      std::memory_order_seq_cst)) {
+      if (top->life.mark_unlinked()) rec_retire(top);
+      if (m && m->life.mark_unlinked()) rec_retire(m);
+    }
+  }
+
+  reclaimer rec_;
+  std::atomic<snode *> head_{nullptr};
+};
+
+} // namespace fix

@@ -1,0 +1,46 @@
+// ssq-lint fixture: memory-order hygiene violations.
+//   1. a non-seq_cst operation with no SSQ_MO_JUSTIFIED note (mo-unjustified)
+//   2. a relaxed load feeding a branch condition (mo-relaxed-control; this
+//      subsumes the mo-unjustified report for the same operation)
+//   3. a justified acquire -- must NOT be reported
+//   4. a suppression comment with no `--` justification (bad-suppression;
+//      the underlying mo-unjustified still fires because the suppression is
+//      invalid)
+#include <atomic>
+
+#include "../../src/support/annotations.hpp"
+
+namespace fix {
+
+class mo_examples {
+ public:
+  int unjustified_load() noexcept {
+    return word_.load(std::memory_order_acquire);
+  }
+
+  bool relaxed_in_branch() noexcept {
+    if (flag_.load(std::memory_order_relaxed) != 0) return true;
+    return false;
+  }
+
+  int justified_load() noexcept {
+    SSQ_MO_JUSTIFIED("pairs with the release store in publish()");
+    return word_.load(std::memory_order_acquire);
+  }
+
+  void publish(int v) noexcept {
+    SSQ_MO_JUSTIFIED("release: makes v visible to justified_load's acquire");
+    word_.store(v, std::memory_order_release);
+  }
+
+  // ssq-lint: suppress(mo-unjustified)
+  int bad_suppressed_load() noexcept {
+    return word_.load(std::memory_order_acquire);
+  }
+
+ private:
+  std::atomic<int> word_{0};
+  std::atomic<int> flag_{0};
+};
+
+} // namespace fix

@@ -1,0 +1,62 @@
+// ssq-lint fixture: the pre-PR-3 dual-stack `clean()` bug, verbatim in
+// shape. The traversal advances its hazard slot to the successor with
+// `hz_p.set(n)` and THEN validates by re-reading `p->next` -- but `p` lost
+// its only cover at the set(), so the validation load dereferences a node
+// that may already be retired. ssq-lint must report reread-after-drop.
+//
+// The fixed version validates `p->next` BEFORE publishing the new hazard.
+#include <atomic>
+#include <cstdint>
+
+#include "../../src/support/annotations.hpp"
+#include "fixture_support.hpp"
+
+namespace fix {
+
+class bad_clean_stack {
+  struct snode {
+    SSQ_GUARDED_BY_HAZARD(rec_)
+    std::atomic<snode *> next{nullptr};
+    life_cycle life;
+    bool is_cancelled() const noexcept { return life.is_unlinked(); }
+  };
+
+  static snode *strip(snode *p) noexcept {
+    return reinterpret_cast<snode *>(reinterpret_cast<std::uintptr_t>(p) &
+                                     ~std::uintptr_t(1));
+  }
+
+  // Validated-read helper: on return `n` is covered by `hz`.
+  SSQ_ACQUIRES_HAZARD
+  snode *read_next(snode *x, reclaimer::slot &hz) noexcept {
+    for (;;) {
+      snode *raw = x->next.load(std::memory_order_seq_cst);
+      snode *n = strip(raw);
+      hz.set(n);
+      if (x->next.load(std::memory_order_seq_cst) == raw) return n;
+    }
+  }
+
+  void clean(snode *past) {
+    reclaimer::slot hz_p(rec_);
+    reclaimer::slot hz_q(rec_);
+    snode *p = hz_p.protect(head_);
+    while (p != nullptr && p != past) {
+      snode *n = read_next(p, hz_q);
+      if (n != nullptr && n->is_cancelled()) {
+        if (n->life.mark_unlinked()) rec_.retire(n);
+        return;
+      }
+      // BUG: advancing the hazard first drops the cover on `p`, then the
+      // validation load dereferences the uncovered `p`.
+      hz_p.set(n);
+      if (p->next.load(std::memory_order_seq_cst) != n) return;
+      p = n;
+    }
+  }
+
+  reclaimer rec_;
+  std::atomic<snode *> head_{nullptr};
+};
+
+} // namespace fix

@@ -1,0 +1,111 @@
+// ssq-lint fixture: a correctly-written miniature of the protocol. Every
+// dereference happens under a hazard cover, the traversal validates before
+// advancing its slot, the park episode is always disarmed before returning,
+// and every non-seq_cst operation carries an SSQ_MO_JUSTIFIED note. The
+// expected-diagnostics file for this fixture is empty.
+#include <atomic>
+#include <cstdint>
+
+#include "../../src/support/annotations.hpp"
+#include "fixture_support.hpp"
+
+namespace fix {
+
+class good_stack {
+  struct snode {
+    SSQ_GUARDED_BY_HAZARD(rec_)
+    std::atomic<snode *> next{nullptr};
+    life_cycle life;
+    bool is_cancelled() const noexcept { return life.is_unlinked(); }
+  };
+
+  static snode *strip(snode *p) noexcept {
+    return reinterpret_cast<snode *>(reinterpret_cast<std::uintptr_t>(p) &
+                                     ~std::uintptr_t(1));
+  }
+
+  SSQ_ACQUIRES_HAZARD
+  snode *read_next(snode *x, reclaimer::slot &hz) noexcept {
+    for (;;) {
+      snode *raw = x->next.load(std::memory_order_seq_cst);
+      snode *n = strip(raw);
+      hz.set(n);
+      if (x->next.load(std::memory_order_seq_cst) == raw) return n;
+    }
+  }
+
+  void push(int value) {
+    snode *n = rec_.create<snode>();
+    n->life = life_cycle{};
+    (void)value;
+    snode *expected = head_.load(std::memory_order_seq_cst);
+    n->next.store(expected, std::memory_order_seq_cst);
+    while (!head_.compare_exchange_weak(expected, n,
+                                        std::memory_order_seq_cst)) {
+      n->next.store(expected, std::memory_order_seq_cst);
+    }
+  }
+
+  // Validate-then-advance: `p->next` is re-read while `p` is still covered,
+  // and only then does hz_p move up.
+  void clean(snode *past) {
+    reclaimer::slot hz_p(rec_);
+    reclaimer::slot hz_q(rec_);
+    snode *p = hz_p.protect(head_);
+    while (p != nullptr && p != past) {
+      snode *n = read_next(p, hz_q);
+      if (n != nullptr && n->is_cancelled()) {
+        if (n->life.mark_unlinked()) rec_.retire(n);
+        return;
+      }
+      if (p->next.load(std::memory_order_seq_cst) != n) return;
+      hz_p.set(n);
+      p = n;
+    }
+  }
+
+  // ssq-lint: suppress(hazard-coverage) -- racy observer: single probe of a
+  // published node, documented as approximate (mirrors unsafe_length).
+  bool top_is_cancelled() const {
+    snode *h = head_.load(std::memory_order_seq_cst);
+    return h != nullptr && h->is_cancelled();
+  }
+
+  mutable reclaimer rec_;
+  std::atomic<snode *> head_{nullptr};
+};
+
+park_slot::wait_result good_spin_then_park(park_slot &slot, bool (*done)(),
+                                           deadline dl,
+                                           interrupt_token *tok) {
+  for (;;) {
+    slot.prepare();
+    if (done()) {
+      slot.disarm();
+      return park_slot::wait_result::woken;
+    }
+    park_slot::wait_result r = slot.wait(dl, tok);
+    if (r != park_slot::wait_result::woken) {
+      slot.disarm();
+      return r;
+    }
+    return r;
+  }
+}
+
+class mo_good {
+ public:
+  int get() const noexcept {
+    SSQ_MO_JUSTIFIED("acquire pairs with set()'s release store");
+    return w_.load(std::memory_order_acquire);
+  }
+  void set(int v) noexcept {
+    SSQ_MO_JUSTIFIED("release publishes v to get()'s acquire load");
+    w_.store(v, std::memory_order_release);
+  }
+
+ private:
+  std::atomic<int> w_{0};
+};
+
+} // namespace fix

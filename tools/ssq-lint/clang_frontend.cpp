@@ -1,0 +1,201 @@
+// Optional LibTooling cross-check frontend (built with SSQ_LINT_WITH_CLANG).
+//
+// The portable token frontend is authoritative for the protocol checks: it
+// runs everywhere, including build hosts with no Clang installed, and the
+// ctest fixtures pin its behavior. What it cannot prove is that its lexical
+// recovery of the annotation vocabulary matches what the real compiler sees
+// -- a misplaced macro that the token scanner happens to pick up but that
+// appertains to nothing in the AST (or vice versa) would silently weaken the
+// checks. This frontend drives the real Clang parser via
+// compile_commands.json and cross-checks per file:
+//
+//   * the translation unit must parse (diagnostic `clang-parse` otherwise --
+//     a file the compiler rejects makes the token model meaningless);
+//   * the multiset of [[clang::annotate("ssq::...")]] attributes in the
+//     main file's AST must agree in count, per kind, with the annotations
+//     the portable frontend recovered (diagnostic `frontend-drift`).
+//
+// Kept deliberately conservative: it consumes only long-stable LibTooling
+// API (ClangTool, RecursiveASTVisitor, AnnotateAttr) so it builds against
+// LLVM 14 through current releases.
+#ifdef SSQ_LINT_WITH_CLANG
+
+#include "lint.hpp"
+
+#include "clang/AST/ASTConsumer.h"
+#include "clang/AST/Attr.h"
+#include "clang/AST/RecursiveASTVisitor.h"
+#include "clang/Frontend/CompilerInstance.h"
+#include "clang/Frontend/FrontendAction.h"
+#include "clang/Tooling/CompilationDatabase.h"
+#include "clang/Tooling/Tooling.h"
+
+#include <fstream>
+#include <map>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace ssqlint {
+namespace {
+
+struct AnnoCounts {
+  int guarded = 0;
+  int acquires = 0;
+  int releases = 0;
+  int returns_unprotected = 0;
+  int episode = 0;
+};
+
+class AnnoVisitor : public clang::RecursiveASTVisitor<AnnoVisitor> {
+ public:
+  AnnoVisitor(clang::SourceManager &sm, AnnoCounts &counts)
+      : sm_(sm), counts_(counts) {}
+
+  bool VisitDecl(clang::Decl *d) {
+    if (!d->hasAttrs()) return true;
+    if (!sm_.isWrittenInMainFile(d->getLocation())) return true;
+    for (const clang::Attr *attr : d->attrs()) {
+      const auto *ann = llvm::dyn_cast<clang::AnnotateAttr>(attr);
+      if (!ann) continue;
+      llvm::StringRef a = ann->getAnnotation();
+      if (a.startswith("ssq::guarded_by_hazard"))
+        ++counts_.guarded;
+      else if (a == "ssq::acquires_hazard")
+        ++counts_.acquires;
+      else if (a == "ssq::releases_hazard")
+        ++counts_.releases;
+      else if (a == "ssq::returns_unprotected")
+        ++counts_.returns_unprotected;
+      else if (a == "ssq::requires_episode_reset")
+        ++counts_.episode;
+    }
+    return true;
+  }
+
+ private:
+  clang::SourceManager &sm_;
+  AnnoCounts &counts_;
+};
+
+class AnnoConsumer : public clang::ASTConsumer {
+ public:
+  AnnoConsumer(clang::SourceManager &sm, AnnoCounts &counts)
+      : sm_(sm), counts_(counts) {}
+  void HandleTranslationUnit(clang::ASTContext &ctx) override {
+    AnnoVisitor v(sm_, counts_);
+    v.TraverseDecl(ctx.getTranslationUnitDecl());
+  }
+
+ private:
+  clang::SourceManager &sm_;
+  AnnoCounts &counts_;
+};
+
+// One action per file; writes the counts into the shared per-file map.
+class AnnoAction : public clang::ASTFrontendAction {
+ public:
+  explicit AnnoAction(std::map<std::string, AnnoCounts> &by_file)
+      : by_file_(by_file) {}
+
+  std::unique_ptr<clang::ASTConsumer> CreateASTConsumer(
+      clang::CompilerInstance &ci, llvm::StringRef file) override {
+    return std::make_unique<AnnoConsumer>(ci.getSourceManager(),
+                                          by_file_[file.str()]);
+  }
+
+ private:
+  std::map<std::string, AnnoCounts> &by_file_;
+};
+
+class AnnoActionFactory : public clang::tooling::FrontendActionFactory {
+ public:
+  explicit AnnoActionFactory(std::map<std::string, AnnoCounts> &by_file)
+      : by_file_(by_file) {}
+  std::unique_ptr<clang::FrontendAction> create() override {
+    return std::make_unique<AnnoAction>(by_file_);
+  }
+
+ private:
+  std::map<std::string, AnnoCounts> &by_file_;
+};
+
+std::string basename_of(const std::string &path) {
+  auto pos = path.find_last_of('/');
+  return pos == std::string::npos ? path : path.substr(pos + 1);
+}
+
+// What the portable frontend recovered, recomputed from the same source so
+// the comparison is self-contained.
+AnnoCounts token_counts(const std::string &path) {
+  AnnoCounts c;
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  FileModel m = build_model(path, ss.str());
+  for (const Function &f : m.functions) {
+    if (f.acquires_hazard) ++c.acquires;
+    if (f.releases_hazard) ++c.releases;
+    if (f.returns_unprotected) ++c.returns_unprotected;
+    if (f.requires_episode_reset) ++c.episode;
+  }
+  c.guarded = static_cast<int>(m.guarded_fields.size());
+  return c;
+}
+
+void compare(const std::string &file, const char *kind, int clang_n,
+             int token_n, std::vector<Diagnostic> &out) {
+  if (clang_n == token_n) return;
+  out.push_back({basename_of(file), 1, "frontend-drift",
+                 std::string(kind) + " annotation count differs between the "
+                 "Clang AST (" + std::to_string(clang_n) +
+                 ") and the portable frontend (" + std::to_string(token_n) +
+                 ")"});
+}
+
+} // namespace
+
+std::vector<Diagnostic> clang_cross_check(
+    const std::vector<std::string> &files, const std::string &compile_db_dir) {
+  std::vector<Diagnostic> out;
+
+  std::unique_ptr<clang::tooling::CompilationDatabase> db;
+  std::string err;
+  if (!compile_db_dir.empty())
+    db = clang::tooling::CompilationDatabase::loadFromDirectory(compile_db_dir,
+                                                                err);
+  if (!db) {
+    // Headers are not TUs in the database; a fixed fallback command is
+    // enough for the cross-check (annotations live in the main file).
+    db = std::make_unique<clang::tooling::FixedCompilationDatabase>(
+        ".", std::vector<std::string>{"-std=c++20", "-xc++", "-Isrc",
+                                      "-fsyntax-only"});
+  }
+
+  std::map<std::string, AnnoCounts> by_file;
+  clang::tooling::ClangTool tool(*db, files);
+  AnnoActionFactory factory(by_file);
+  if (tool.run(&factory) != 0)
+    out.push_back({"<clang>", 1, "clang-parse",
+                   "one or more files failed to parse under Clang; see the "
+                   "compiler output above"});
+
+  for (const std::string &f : files) {
+    AnnoCounts clang_c;
+    for (const auto &kv : by_file)
+      if (basename_of(kv.first) == basename_of(f)) clang_c = kv.second;
+    AnnoCounts token_c = token_counts(f);
+    compare(f, "guarded-field", clang_c.guarded, token_c.guarded, out);
+    compare(f, "acquires-hazard", clang_c.acquires, token_c.acquires, out);
+    compare(f, "releases-hazard", clang_c.releases, token_c.releases, out);
+    compare(f, "returns-unprotected", clang_c.returns_unprotected,
+            token_c.returns_unprotected, out);
+    compare(f, "episode-reset", clang_c.episode, token_c.episode, out);
+  }
+  return out;
+}
+
+} // namespace ssqlint
+
+#endif // SSQ_LINT_WITH_CLANG

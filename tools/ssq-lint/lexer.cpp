@@ -1,0 +1,127 @@
+// Tokenizer for the portable ssq-lint frontend. Deliberately small: it only
+// has to be faithful enough to recover identifiers, punctuation, statement
+// boundaries, and comments from clang-format-clean C++ -- the files it runs
+// on are this repository's own.
+#include "lint.hpp"
+
+#include <cctype>
+
+namespace ssqlint {
+
+namespace {
+
+bool ident_start(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+bool ident_char(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+// Multi-char punctuators we keep whole; everything else is one char.
+// Order matters: longest match first.
+const char *kPuncts[] = {"->", "::", "&&", "||", "==", "!=", "<=", ">="};
+
+} // namespace
+
+LexedFile lex(const std::string &src) {
+  LexedFile out;
+  int line = 1;
+  std::size_t i = 0;
+  const std::size_t n = src.size();
+
+  auto peek = [&](std::size_t k) -> char {
+    return i + k < n ? src[i + k] : '\0';
+  };
+
+  while (i < n) {
+    char c = src[i];
+    if (c == '\n') {
+      ++line;
+      ++i;
+      continue;
+    }
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+    // Comments -> side table.
+    if (c == '/' && peek(1) == '/') {
+      std::size_t start = i;
+      while (i < n && src[i] != '\n') ++i;
+      out.comments.push_back({src.substr(start, i - start), line});
+      continue;
+    }
+    if (c == '/' && peek(1) == '*') {
+      std::size_t start = i;
+      int start_line = line;
+      i += 2;
+      while (i + 1 < n && !(src[i] == '*' && src[i + 1] == '/')) {
+        if (src[i] == '\n') ++line;
+        ++i;
+      }
+      i = (i + 1 < n) ? i + 2 : n;
+      out.comments.push_back({src.substr(start, i - start), start_line});
+      continue;
+    }
+    // Preprocessor: drop the whole (possibly continued) line, except that
+    // we keep nothing -- annotations are macros that appear in code, not
+    // directives.
+    if (c == '#') {
+      while (i < n && src[i] != '\n') {
+        if (src[i] == '\\' && i + 1 < n && src[i + 1] == '\n') {
+          ++line;
+          i += 2;
+          continue;
+        }
+        ++i;
+      }
+      continue;
+    }
+    // String / char literals (no raw strings in the linted tree).
+    if (c == '"' || c == '\'') {
+      char quote = c;
+      std::size_t start = i++;
+      while (i < n && src[i] != quote) {
+        if (src[i] == '\\') ++i;
+        if (i < n && src[i] == '\n') ++line;
+        ++i;
+      }
+      if (i < n) ++i;
+      out.tokens.push_back({quote == '"' ? Token::Kind::String
+                                         : Token::Kind::Char,
+                            src.substr(start, i - start), line});
+      continue;
+    }
+    if (ident_start(c)) {
+      std::size_t start = i++;
+      while (i < n && ident_char(src[i])) ++i;
+      out.tokens.push_back(
+          {Token::Kind::Ident, src.substr(start, i - start), line});
+      continue;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c))) {
+      std::size_t start = i++;
+      while (i < n && (ident_char(src[i]) || src[i] == '.' || src[i] == '\''))
+        ++i;
+      out.tokens.push_back(
+          {Token::Kind::Number, src.substr(start, i - start), line});
+      continue;
+    }
+    bool matched = false;
+    for (const char *p : kPuncts) {
+      if (c == p[0] && peek(1) == p[1]) {
+        out.tokens.push_back({Token::Kind::Punct, p, line});
+        i += 2;
+        matched = true;
+        break;
+      }
+    }
+    if (matched) continue;
+    out.tokens.push_back({Token::Kind::Punct, std::string(1, c), line});
+    ++i;
+  }
+  out.tokens.push_back({Token::Kind::Eof, "", line});
+  return out;
+}
+
+} // namespace ssqlint
