@@ -1,0 +1,80 @@
+// Ablation G: segmented waiter-cell core vs the linked fair core.
+//
+// The linked dual queue allocates and retires one node per transfer; the
+// segmented core (core/segment_queue.hpp) amortizes both over 64-cell
+// segments, so its reclaimer sees ~1/64th the retire traffic. This bench
+// prices that trade on the same handoff workload:
+//
+//   * ns/transfer for both cores per concurrency level (same series the
+//     figure benches print), and
+//   * retire calls per transfer, measured from the node_retire diagnostic
+//     counter around each run -- the 64:1 claim, observed not asserted.
+//
+// The committed snapshot BENCH_segment.json is this bench's --json output
+// on the reference container (levels 1,2,4,8 -- level 8 = 16 threads).
+#include "bench_common.hpp"
+
+#include "support/diagnostics.hpp"
+
+using namespace ssq;
+using namespace ssq::bench;
+
+namespace {
+
+using seg_fair_t = segmented_synchronous_queue<payload>;
+
+struct cell_result {
+  double ns = 0;          // median ns/transfer
+  double retires = 0;     // retire calls per transfer (worst rep)
+};
+
+template <typename Q>
+cell_result measure_core(int pairs, const sweep_config &cfg) {
+  std::vector<double> samples;
+  cell_result out;
+  for (int r = 0; r < cfg.reps; ++r) {
+    const std::uint64_t r0 = diag::read(diag::id::node_retire);
+    {
+      Q q;
+      auto res = harness::run_handoff(q, pairs, pairs, cfg.ops);
+      if (!res.checksum_ok) {
+        std::fprintf(stderr, "CHECKSUM FAILURE (pairs=%d)\n", pairs);
+        std::exit(1);
+      }
+      samples.push_back(res.ns_per_transfer);
+    }
+    const std::uint64_t r1 = diag::read(diag::id::node_retire);
+    const double per =
+        static_cast<double>(r1 - r0) / static_cast<double>(cfg.ops);
+    if (per > out.retires) out.retires = per;
+  }
+  out.ns = harness::summarize(samples).median;
+  return out;
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  auto cfg = parse_sweep(argc, argv, {1, 2, 4, 8}, "ablation_segment.csv");
+
+  harness::table t({"pairs", "linked ns/x", "segmented ns/x",
+                    "linked ret/x", "segmented ret/x", "retire reduction"});
+  for (int n : cfg.levels) {
+    cell_result linked = measure_core<new_fair_t>(n, cfg);
+    cell_result seg = measure_core<seg_fair_t>(n, cfg);
+    const double reduction =
+        seg.retires > 0 ? linked.retires / seg.retires : 0.0;
+    t.add_row({std::to_string(n), harness::table::fmt(linked.ns),
+               harness::table::fmt(seg.ns), harness::table::fmt(linked.retires, 4),
+               harness::table::fmt(seg.retires, 4),
+               harness::table::fmt(reduction) + "x"});
+    std::fflush(stdout);
+  }
+  emit(t, cfg, "Ablation G: segmented vs linked fair core");
+
+  std::printf(
+      "segment size: %zu cells; whole-segment retires this process: %llu\n",
+      segment_queue<>::seg_cells,
+      static_cast<unsigned long long>(diag::read(diag::id::seg_retire)));
+  return 0;
+}

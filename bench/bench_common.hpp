@@ -10,6 +10,8 @@
 //   --ops=N              transfers per cell   (default 8000)
 //   --reps=N             repetitions per cell (default 2; median reported)
 //   --csv=path           CSV output path
+//   --json=path          JSON output path (machine-readable series; the
+//                        committed BENCH_*.json snapshots use this)
 //   --quick              tiny run for smoke-testing (CI)
 #pragma once
 
@@ -41,6 +43,7 @@ struct sweep_config {
   std::uint64_t ops = 8000;
   int reps = 2;
   std::string csv;
+  std::string json; // empty: no JSON emitted
 };
 
 inline sweep_config parse_sweep(int argc, char **argv,
@@ -54,6 +57,7 @@ inline sweep_config parse_sweep(int argc, char **argv,
       opt.get_int("ops", static_cast<std::int64_t>(default_ops)));
   cfg.reps = static_cast<int>(opt.get_int("reps", 2));
   cfg.csv = opt.get("csv", default_csv);
+  cfg.json = opt.get("json", "");
   if (opt.has("quick")) {
     cfg.levels.resize(cfg.levels.size() > 3 ? 3 : cfg.levels.size());
     cfg.ops = 1000;
@@ -86,6 +90,14 @@ inline void emit(const harness::table &t, const std::string &csv_path,
   t.print();
   if (!csv_path.empty() && t.write_csv(csv_path))
     std::printf("(csv written to %s)\n", csv_path.c_str());
+}
+
+// Full-config form: CSV plus the optional --json series.
+inline void emit(const harness::table &t, const sweep_config &cfg,
+                 const char *title) {
+  emit(t, cfg.csv, title);
+  if (!cfg.json.empty() && t.write_json(cfg.json))
+    std::printf("(json written to %s)\n", cfg.json.c_str());
 }
 
 } // namespace ssq::bench

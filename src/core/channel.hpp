@@ -21,9 +21,11 @@
 
 namespace ssq {
 
-template <typename T, bool Fair = true>
+template <typename T, bool Fair = true, core_kind Core = core_kind::linked>
 class channel {
  public:
+  static constexpr bool segmented_core = Core == core_kind::segmented;
+
   channel() = default;
   channel(const channel &) = delete;
   channel &operator=(const channel &) = delete;
@@ -67,9 +69,16 @@ class channel {
 
   bool is_idle() const noexcept { return q_.is_empty(); }
 
+  auto &queue() noexcept { return q_; }
+
  private:
-  synchronous_queue<T, Fair> q_;
+  synchronous_queue<T, Fair, mem::pooled_hp_reclaimer, Core> q_;
   sync::interrupt_token closer_;
 };
+
+// CSP over the segmented core: reservation-based select, 1/64th the
+// reclaimer traffic (core/segment_queue.hpp).
+template <typename T>
+using segmented_channel = channel<T, true, core_kind::segmented>;
 
 } // namespace ssq

@@ -1,0 +1,747 @@
+// The segmented synchronous-queue core -- the paper's FAIR dual queue
+// rebuilt over CQS-style waiter-cell segments (Koval et al., PAPERS.md)
+// instead of per-node linked handoff.
+//
+// Structure: a singly linked chain of 64-cell cache-contiguous segments.
+// Two monotonic index words dispatch arrivals: the i-th sender and the
+// i-th receiver share cell i (segment i/64, slot i%64). Whoever arrives
+// first installs itself in the cell and waits; the second party commits
+// the rendezvous with one CAS of the cell's state word. This keeps the
+// linked cores' strict-FIFO fairness (indices are FAA order) while cutting
+// allocator and hazard traffic to 1/64th per transfer: segments, not
+// nodes, are the unit of allocation and of retirement.
+//
+// Per-cell state machine (ssq-lint audits every edge; see
+// support/annotations.hpp SSQ_CELL_TRANSITION):
+//
+//   EMPTY ---> WAITER ----> MATCHED        (partner commits, signals)
+//     |          `--------> POISONED       (owner timeout/interrupt, or a
+//     |---> ASYNC ---> MATCHED              losing selector: owner retries)
+//     |---> RESERVED -> CLAIMED -> {MATCHED, POISONED}   (select protocol)
+//     `---> POISONED                        (now-op found nobody; the
+//                                            already-indexed peer retries)
+//
+// Exactly one of {match, poison} wins the state CAS, which is the
+// cancellation linearization point -- O(1), no unlinking, no cleaning
+// passes. A party that finds its cell POISONED re-FAAs for a fresh index.
+//
+// Segment retirement: each cell owes two contributions, one per party,
+// made strictly after that party's last access to the cell. When a
+// segment's 128th contribution lands and it has a successor, the head is
+// advanced past it and the whole segment is retired through the reclaimer
+// seam -- one retire call per 64 transfers (ablation_segment measures the
+// ratio). head_id_ is a monotonic watermark: a traverser that published a
+// hazard on a next-pointer revalidates `head_id_ <= id(s)+1` before
+// trusting it, which is the M&S-style protect-validate step rebuilt for
+// chains whose unlink never touches the unlinked node. Bounded memory
+// (Aksenov et al., PAPERS.md; docs/memory_reclamation.md §8): live
+// segments are those holding at least one unfinalized cell, plus at most
+// one fully-done trailing segment, so resident bytes are O(live waiters).
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <type_traits>
+
+#include "check/schedule_fuzz.hpp"
+#include "core/wait_kind.hpp"
+#include "memory/reclaim.hpp"
+#include "support/annotations.hpp"
+#include "support/cacheline.hpp"
+#include "support/codec.hpp"
+#include "support/config.hpp"
+#include "support/diagnostics.hpp"
+#include "sync/interrupt.hpp"
+#include "sync/park_slot.hpp"
+#include "sync/spin_policy.hpp"
+
+namespace ssq {
+
+// State-word values. Aligned pointers (> cell_state_max) are RESERVED
+// states: the word holds the installing selector's seg_select_wait*.
+inline constexpr std::uintptr_t cell_empty = 0;
+inline constexpr std::uintptr_t cell_waiter = 1;
+inline constexpr std::uintptr_t cell_async = 2;
+inline constexpr std::uintptr_t cell_matched = 3;
+inline constexpr std::uintptr_t cell_poisoned = 4;
+inline constexpr std::uintptr_t cell_claimed = 5;
+inline constexpr std::uintptr_t cell_state_max = 7;
+
+struct alignas(cacheline_size) seg_cell {
+  SSQ_CELL_STATE_FIELD
+  std::atomic<std::uintptr_t> state{cell_empty};
+  // Sender-side cells carry the token from before the WAITER install;
+  // receiver-side cells have it deposited by the matching sender.
+  std::atomic<item_token> item{empty_token};
+  sync::park_slot slot;
+};
+
+// Non-template so select records can point at segments across reclaimer
+// instantiations. Trivially destructible by design: segments recycle
+// through the same pooled-alloc seam as qnodes (a dedicated large-block
+// size class; node_pool.cpp).
+struct seg_segment {
+  static constexpr std::size_t cells_per_seg = 64;
+  static constexpr unsigned contributions = 2 * cells_per_seg;
+
+  const std::uint64_t id;
+  SSQ_GUARDED_BY_HAZARD(rec_)
+  std::atomic<seg_segment *> next{nullptr};
+  std::atomic<unsigned> done{0};
+  seg_cell cells[cells_per_seg];
+
+  explicit seg_segment(std::uint64_t id_) noexcept : id(id_) {}
+};
+static_assert(std::is_trivially_destructible_v<seg_segment>);
+
+// ---------------------------------------------------------------------------
+// Select-registration records (core/select.hpp). One arbiter per select
+// round, one wait record per registered queue; all records live on the
+// selecting thread's stack. A partner that claims a reservation pins the
+// arbiter (pins) around every access so the selector cannot pop its frame
+// mid-signal: the selector spins pins==0 before returning from a round.
+// ---------------------------------------------------------------------------
+
+struct seg_select_arbiter {
+  sync::park_slot slot;
+  // First committer wins: a seg_select_wait*, or the cancel sentinel
+  // installed by the selector's own timeout path.
+  std::atomic<void *> winner{nullptr};
+  std::atomic<int> pins{0};
+
+  static void *cancel_sentinel() noexcept {
+    return reinterpret_cast<void *>(std::uintptr_t{1});
+  }
+};
+
+struct seg_select_wait {
+  seg_select_arbiter *arb = nullptr;
+  seg_segment *seg = nullptr;
+  seg_cell *cl = nullptr;
+  bool is_data = false;
+  // Set by a losing partner that poisoned this reservation: the selector
+  // must re-run its round (the rendezvous it was offered went elsewhere).
+  std::atomic<bool> poisoned{false};
+  item_token result = empty_token;
+};
+
+enum class seg_reg_status { installed, completed, lost, retry };
+
+// ---------------------------------------------------------------------------
+
+template <typename Reclaimer = mem::pooled_hp_reclaimer>
+class segment_queue {
+ public:
+  using segment = seg_segment;
+  static constexpr std::size_t seg_cells = seg_segment::cells_per_seg;
+  static constexpr unsigned seg_contribs = seg_segment::contributions;
+
+  explicit segment_queue(sync::spin_policy pol = sync::spin_policy::adaptive(),
+                         Reclaimer rec = Reclaimer{})
+      : rec_(std::move(rec)), pol_(pol) {
+    seg_segment *s0 = rec_.template create<seg_segment>(0);
+    diag::bump(diag::id::seg_alloc);
+    head_seg_.value.store(s0, std::memory_order_relaxed);
+    enq_cursor_.value.store(s0, std::memory_order_relaxed);
+    deq_cursor_.value.store(s0, std::memory_order_relaxed);
+    head_id_.value.store(0, std::memory_order_relaxed);
+    // Cursors are external hazard roots: a protect() on them is valid even
+    // though they lag head_seg_ (same pattern as transfer_queue::clean_me_).
+    rec_.register_root(&enq_cursor_.value);
+    rec_.register_root(&deq_cursor_.value);
+  }
+
+  ~segment_queue() {
+    rec_.unregister_root(&enq_cursor_.value);
+    rec_.unregister_root(&deq_cursor_.value);
+    // Single-threaded teardown: free the still-linked suffix. Unconsumed
+    // sender tokens (async producers') go to the disposer; receiver-side
+    // waiter cells hold empty_token and are skipped by the same test.
+    seg_segment *s = head_seg_.value.load(std::memory_order_relaxed);
+    while (s) {
+      seg_segment *nx = s->next.load(std::memory_order_relaxed);
+      if (disposer_) {
+        for (std::size_t i = 0; i < seg_cells; ++i) {
+          std::uintptr_t st = s->cells[i].state.load(std::memory_order_relaxed);
+          item_token it = s->cells[i].item.load(std::memory_order_relaxed);
+          if ((st == cell_waiter || st == cell_async) && it != empty_token)
+            disposer_(it);
+        }
+      }
+      rec_.destroy(s);
+      s = nx;
+    }
+  }
+
+  segment_queue(const segment_queue &) = delete;
+  segment_queue &operator=(const segment_queue &) = delete;
+
+  void set_token_disposer(void (*d)(item_token)) noexcept { disposer_ = d; }
+
+  // The unified transfer operation; contract identical to
+  // transfer_queue::xfer (same facade drives both cores).
+  item_token xfer(item_token e, bool is_data, wait_kind wk,
+                  deadline dl = deadline::unbounded(),
+                  sync::interrupt_token *tok = nullptr) {
+    SSQ_ASSERT(is_data == (e != empty_token), "token/mode mismatch");
+    SSQ_ASSERT(is_data || wk != wait_kind::async, "async take is meaningless");
+    typename Reclaimer::slot hz(rec_);
+    for (;;) {
+      if (wk == wait_kind::now && !counterpart_waiting(is_data))
+        return empty_token;
+      const std::uint64_t idx = next_index(is_data);
+      seg_segment *s = find_segment(idx / seg_cells, is_data, hz);
+      seg_cell &c = s->cells[idx % seg_cells];
+      item_token out = empty_token;
+      switch (run_cell(s, c, idx, e, is_data, wk, dl, tok, out)) {
+        case cell_outcome::transferred:
+          return out;
+        case cell_outcome::cancelled:
+          return empty_token;
+        case cell_outcome::retry:
+          break; // poisoned cell or now-miss race: fresh index / recheck
+      }
+    }
+  }
+
+  // ------------------------------------------------------------ select
+  // Registering select support (core/select.hpp). A reservation is the
+  // selector's seg_select_wait* installed as the cell state; the partner
+  // that would have matched a WAITER instead claims the record and races
+  // for its arbiter.
+
+  seg_reg_status select_register(seg_select_wait &w, item_token e,
+                                 bool is_data, deadline dl,
+                                 sync::interrupt_token *tok) {
+    typename Reclaimer::slot hz(rec_);
+    for (;;) {
+      if (w.arb->winner.load(std::memory_order_seq_cst) != nullptr)
+        return seg_reg_status::lost;
+      const std::uint64_t idx = next_index(is_data);
+      seg_segment *s = find_segment(idx / seg_cells, is_data, hz);
+      seg_cell &c = s->cells[idx % seg_cells];
+      seg_reg_status r = register_cell(s, c, w, e, is_data, dl, tok);
+      if (r != seg_reg_status::retry) return r;
+    }
+  }
+
+  // Resolve an *installed* registration once arbitration is decided
+  // (winner set, or the cancel sentinel installed). Returns true iff this
+  // registration's cell carried the match; w.result then holds the token
+  // for take-side registrations.
+  bool select_finalize(seg_select_wait &w) {
+    seg_cell &c = *w.cl;
+    std::uintptr_t st = c.state.load(std::memory_order_seq_cst);
+    if (st == reinterpret_cast<std::uintptr_t>(&w)) {
+      SSQ_CELL_TRANSITION(cell_resv, cell_poisoned);
+      if (c.state.compare_exchange_strong(st, cell_poisoned,
+                                          std::memory_order_seq_cst)) {
+        diag::bump(diag::id::cell_poison);
+        live_.value.fetch_sub(1, std::memory_order_seq_cst);
+        contribute(w.seg, 1);
+        return false;
+      }
+    }
+    for (int i = 0; st == cell_claimed; ++i) {
+      // A partner is between claim and commit -- a handful of instructions.
+      pol_.relax(i);
+      st = c.state.load(std::memory_order_seq_cst);
+    }
+    const bool matched = st == cell_matched;
+    if (matched && !w.is_data)
+      w.result = c.item.load(std::memory_order_seq_cst);
+    contribute(w.seg, 1);
+    return matched;
+  }
+
+  // ---------------------------------------------------------- observers
+  // Racy snapshots by contract (facade docs), exact at quiescence.
+
+  bool is_empty() const noexcept {
+    return live_.value.load(std::memory_order_seq_cst) <= 0;
+  }
+
+  std::size_t unsafe_length() const noexcept {
+    std::int64_t n = live_.value.load(std::memory_order_seq_cst);
+    return n > 0 ? static_cast<std::size_t>(n) : 0;
+  }
+
+  Reclaimer &reclaimer() noexcept { return rec_; }
+
+ private:
+  enum class cell_outcome { transferred, cancelled, retry };
+
+  std::uint64_t next_index(bool is_data) noexcept {
+    return (is_data ? senders_ : receivers_)
+        .value.fetch_add(1, std::memory_order_seq_cst);
+  }
+
+  bool counterpart_waiting(bool is_data) const noexcept {
+    const std::uint64_t peers =
+        (is_data ? receivers_ : senders_).value.load(std::memory_order_seq_cst);
+    const std::uint64_t mine =
+        (is_data ? senders_ : receivers_).value.load(std::memory_order_seq_cst);
+    return peers > mine;
+  }
+
+  // Walk (extending as needed) to the segment holding cell-index block
+  // `id`, leaving it covered by hz. The caller owes its cell a
+  // contribution, which pins head_id_ <= id throughout.
+  SSQ_ACQUIRES_HAZARD
+  seg_segment *find_segment(std::uint64_t id, bool is_data,
+                            typename Reclaimer::slot &hz) {
+    auto &cursor = is_data ? enq_cursor_ : deq_cursor_;
+    seg_segment *s = static_cast<seg_segment *>(hz.protect(cursor.value));
+    for (;;) {
+      if (s->id > id) {
+        // The cursor overshot our block (it lags arbitrary other threads);
+        // the head cannot have, since our contribution is still owed.
+        s = hz.protect(head_seg_.value);
+        continue;
+      }
+      if (s->id == id) break;
+      const std::uint64_t sid = s->id;
+      seg_segment *n = s->next.load(std::memory_order_seq_cst);
+      if (n == nullptr) {
+        seg_segment *fresh = rec_.template create<seg_segment>(sid + 1);
+        if (s->next.compare_exchange_strong(n, fresh,
+                                            std::memory_order_seq_cst)) {
+          diag::bump(diag::id::seg_alloc);
+          n = fresh;
+        } else {
+          rec_.destroy(fresh); // lost the install race; n holds the winner
+        }
+      }
+      hz.set(n);
+      SSQ_INTERLEAVE("sq.walk");
+      // Protect-validate: n (= segment sid+1) can only have been unlinked
+      // if the head watermark passed it, i.e. moved beyond sid+1. The
+      // watermark is bumped before the old head is retired, so a stale
+      // reading here implies our hazard published before any scan freed n.
+      if (head_id_.value.load(std::memory_order_seq_cst) > sid + 1) {
+        s = hz.protect(head_seg_.value);
+        continue;
+      }
+      s = n;
+    }
+    advance_cursor(cursor, s);
+    return s;
+  }
+
+  void advance_cursor(padded_atomic<void *> &cursor, seg_segment *s) {
+    // s stays covered by the caller's slot; cur needs its own so the
+    // id-read and the pointer CAS act on a pinned segment (no ABA: a
+    // segment cannot be retired while it is the cursor's current value).
+    typename Reclaimer::slot hz(rec_);
+    for (;;) {
+      seg_segment *cur = static_cast<seg_segment *>(hz.protect(cursor.value));
+      if (cur->id >= s->id) return;
+      void *expected = static_cast<void *>(cur);
+      if (cursor.value.compare_exchange_strong(expected,
+                                               static_cast<void *>(s),
+                                               std::memory_order_seq_cst))
+        return;
+    }
+  }
+
+  // One party's share of a cell's retirement accounting. Must be this
+  // party's last access to the cell/segment.
+  void contribute(seg_segment *s, unsigned n) {
+    if (s->done.fetch_add(n, std::memory_order_seq_cst) + n == seg_contribs)
+      reap_head();
+  }
+
+  void reap_head() {
+    typename Reclaimer::slot hz(rec_);
+    for (;;) {
+      seg_segment *h = hz.protect(head_seg_.value);
+      if (h->done.load(std::memory_order_seq_cst) != seg_contribs) return;
+      seg_segment *n = h->next.load(std::memory_order_seq_cst);
+      if (n == nullptr) return; // never unlink the only segment
+      seg_segment *expected = h;
+      SSQ_INTERLEAVE("sq.reap");
+      if (head_seg_.value.compare_exchange_strong(expected, n,
+                                                  std::memory_order_seq_cst)) {
+        bump_head_id(h->id + 1);
+        retire_seg(h);
+      }
+      // Loop: either way the head moved; consecutive done segments are
+      // swept in one pass.
+    }
+  }
+
+  void bump_head_id(std::uint64_t id) noexcept {
+    std::uint64_t cur = head_id_.value.load(std::memory_order_seq_cst);
+    while (cur < id && !head_id_.value.compare_exchange_weak(
+                           cur, id, std::memory_order_seq_cst)) {
+    }
+  }
+
+  void retire_seg(seg_segment *s) {
+    rec_.retire_segment(s);
+    diag::bump(diag::id::node_free); // freed (possibly deferred)
+  }
+
+  // Play out one cell. `retry` means the index was burned (poisoned cell
+  // or now-race) and the caller should start over.
+  cell_outcome run_cell(seg_segment *s, seg_cell &c, std::uint64_t idx,
+                        item_token e, bool is_data, wait_kind wk, deadline dl,
+                        sync::interrupt_token *tok, item_token &out) {
+    std::uintptr_t st = c.state.load(std::memory_order_seq_cst);
+    for (;;) {
+      if (st == cell_empty) {
+        if (wk == wait_kind::now) {
+          // The counter pre-check proved our counterpart already took this
+          // index; it just has not arrived. A now-op cannot wait: kill the
+          // cell (the counterpart will re-FAA) and re-check the counters.
+          SSQ_INTERLEAVE("sq.now.poison");
+          SSQ_CELL_TRANSITION(cell_empty, cell_poisoned);
+          if (c.state.compare_exchange_strong(st, cell_poisoned,
+                                              std::memory_order_seq_cst)) {
+            diag::bump(diag::id::cell_poison);
+            contribute(s, 1);
+            return cell_outcome::retry;
+          }
+          continue; // counterpart arrived after all; st reloaded
+        }
+        if (is_data) c.item.store(e, std::memory_order_seq_cst);
+        SSQ_INTERLEAVE("sq.install");
+        if (wk == wait_kind::async) {
+          SSQ_CELL_TRANSITION(cell_empty, cell_async);
+          if (c.state.compare_exchange_strong(st, cell_async,
+                                              std::memory_order_seq_cst)) {
+            live_.value.fetch_add(1, std::memory_order_seq_cst);
+            out = e; // the matcher contributes both shares for async cells
+            return cell_outcome::transferred;
+          }
+          continue;
+        }
+        SSQ_CELL_TRANSITION(cell_empty, cell_waiter);
+        if (c.state.compare_exchange_strong(st, cell_waiter,
+                                            std::memory_order_seq_cst)) {
+          live_.value.fetch_add(1, std::memory_order_seq_cst);
+          return await_match(s, c, idx, e, is_data, dl, tok, out);
+        }
+        continue;
+      }
+      if (st == cell_poisoned) {
+        contribute(s, 1);
+        return cell_outcome::retry;
+      }
+      if (st == cell_waiter || st == cell_async) {
+        item_token got = e;
+        if (is_data)
+          c.item.store(e, std::memory_order_seq_cst);
+        else
+          got = c.item.load(std::memory_order_seq_cst);
+        std::uintptr_t ex = st;
+        SSQ_INTERLEAVE("sq.match.cas");
+        SSQ_CELL_TRANSITION(cell_waiter, cell_matched);
+        SSQ_CELL_TRANSITION(cell_async, cell_matched);
+        if (c.state.compare_exchange_strong(ex, cell_matched,
+                                            std::memory_order_seq_cst)) {
+          live_.value.fetch_sub(1, std::memory_order_seq_cst);
+          if (st == cell_async) {
+            contribute(s, 2); // the absent owner's share is ours
+          } else {
+            c.slot.signal();
+            contribute(s, 1);
+          }
+          out = got;
+          return cell_outcome::transferred;
+        }
+        st = ex; // waiter cancelled (or a losing selector poisoned it)
+        continue;
+      }
+      if (st == cell_claimed) {
+        // A cell's only parties are its two index-holders; CLAIMED is
+        // written by a partner claiming a reservation, and we are the
+        // partner. Unreachable.
+        SSQ_ASSERT(false, "segment_queue: partner observed CLAIMED");
+        return cell_outcome::retry;
+      }
+      // RESERVED: the counterpart is a registered selector.
+      return claim_reservation(s, c, st, e, is_data, out);
+    }
+  }
+
+  // Commit or refuse a rendezvous against a reservation found in our cell.
+  cell_outcome claim_reservation(seg_segment *s, seg_cell &c,
+                                 std::uintptr_t st, item_token e, bool is_data,
+                                 item_token &out) {
+    auto *w = reinterpret_cast<seg_select_wait *>(st);
+    std::uintptr_t ex = st;
+    SSQ_INTERLEAVE("sq.resv.claim");
+    SSQ_CELL_TRANSITION(cell_resv, cell_claimed);
+    if (!c.state.compare_exchange_strong(ex, cell_claimed,
+                                         std::memory_order_seq_cst)) {
+      // The selector resolved the reservation first (poisoned it).
+      contribute(s, 1);
+      return cell_outcome::retry;
+    }
+    // From CLAIMED until our final-state store the selector spins in
+    // select_finalize, and from pins++ until pins-- it cannot pop the
+    // record's frame: both ends of the access window are covered.
+    seg_select_arbiter *arb = w->arb;
+    arb->pins.fetch_add(1, std::memory_order_seq_cst);
+    void *expect_w = nullptr;
+    if (arb->winner.compare_exchange_strong(expect_w, w,
+                                            std::memory_order_seq_cst)) {
+      item_token got = e;
+      if (is_data)
+        c.item.store(e, std::memory_order_seq_cst);
+      else
+        got = c.item.load(std::memory_order_seq_cst);
+      SSQ_CELL_TRANSITION(cell_claimed, cell_matched);
+      c.state.store(cell_matched, std::memory_order_seq_cst);
+      live_.value.fetch_sub(1, std::memory_order_seq_cst);
+      arb->slot.signal();
+      arb->pins.fetch_sub(1, std::memory_order_seq_cst);
+      contribute(s, 1);
+      out = got;
+      return cell_outcome::transferred;
+    }
+    // The select committed elsewhere: kill the cell and nudge the selector
+    // awake so it can re-run its round.
+    SSQ_CELL_TRANSITION(cell_claimed, cell_poisoned);
+    c.state.store(cell_poisoned, std::memory_order_seq_cst);
+    diag::bump(diag::id::cell_poison);
+    live_.value.fetch_sub(1, std::memory_order_seq_cst);
+    w->poisoned.store(true, std::memory_order_seq_cst);
+    arb->slot.signal();
+    arb->pins.fetch_sub(1, std::memory_order_seq_cst);
+    contribute(s, 1);
+    return cell_outcome::retry;
+  }
+
+  // Installed-waiter wait loop: park until the partner commits, our
+  // deadline/interrupt cancels, or a losing selector poisons us.
+  cell_outcome await_match(seg_segment *s, seg_cell &c, std::uint64_t idx,
+                           item_token e, bool is_data, deadline dl,
+                           sync::interrupt_token *tok, item_token &out) {
+    auto done = [&c] {
+      return c.state.load(std::memory_order_seq_cst) != cell_waiter;
+    };
+    auto &peer_ctr = is_data ? receivers_ : senders_;
+    auto at_front = [&peer_ctr, idx] {
+      SSQ_MO_JUSTIFIED(
+          "relaxed: spin-depth heuristic only; a stale value merely changes "
+          "how long we spin before parking");
+      return peer_ctr.value.load(std::memory_order_relaxed) > idx;
+    };
+    auto r = sync::spin_then_park(c.slot, done, at_front, pol_, dl, tok);
+    if (r != sync::park_slot::wait_result::woken) {
+      SSQ_INTERLEAVE("sq.cancel.cas");
+      std::uintptr_t ex = cell_waiter;
+      SSQ_CELL_TRANSITION(cell_waiter, cell_poisoned);
+      if (c.state.compare_exchange_strong(ex, cell_poisoned,
+                                          std::memory_order_seq_cst)) {
+        diag::bump(diag::id::cell_poison);
+        live_.value.fetch_sub(1, std::memory_order_seq_cst);
+        contribute(s, 1);
+        out = empty_token;
+        return cell_outcome::cancelled;
+      }
+      // Lost the race to a concurrent finalizer; fall through to read it.
+    }
+    std::uintptr_t st = c.state.load(std::memory_order_seq_cst);
+    if (st == cell_poisoned) {
+      // Foreign poison (a selector whose select went elsewhere): our claim
+      // on a rendezvous is still open, retry at a fresh index.
+      contribute(s, 1);
+      return cell_outcome::retry;
+    }
+    SSQ_ASSERT(st == cell_matched, "waiter woke to a non-final cell state");
+    out = is_data ? e : c.item.load(std::memory_order_seq_cst);
+    contribute(s, 1);
+    return cell_outcome::transferred;
+  }
+
+  // One registration attempt at one cell; see select_register.
+  seg_reg_status register_cell(seg_segment *s, seg_cell &c, seg_select_wait &w,
+                               item_token e, bool is_data, deadline dl,
+                               sync::interrupt_token *tok) {
+    std::uintptr_t st = c.state.load(std::memory_order_seq_cst);
+    for (;;) {
+      if (st == cell_empty) {
+        if (is_data) c.item.store(e, std::memory_order_seq_cst);
+        w.seg = s;
+        w.cl = &c;
+        w.is_data = is_data;
+        SSQ_INTERLEAVE("sq.resv.install");
+        SSQ_CELL_TRANSITION(cell_empty, cell_resv);
+        if (c.state.compare_exchange_strong(
+                st, reinterpret_cast<std::uintptr_t>(&w),
+                std::memory_order_seq_cst)) {
+          live_.value.fetch_add(1, std::memory_order_seq_cst);
+          return seg_reg_status::installed;
+        }
+        continue;
+      }
+      if (st == cell_poisoned) {
+        contribute(s, 1);
+        return seg_reg_status::retry;
+      }
+      if (st == cell_waiter || st == cell_async)
+        return arbitrate_waiter(s, c, st, w, e, is_data, dl, tok);
+      if (st == cell_claimed) {
+        SSQ_ASSERT(false, "segment_queue: selector observed CLAIMED");
+        return seg_reg_status::retry;
+      }
+      return arbitrate_peer_select(s, c, st, w, e, is_data, dl, tok);
+    }
+  }
+
+  // A plain waiter already owns our cell: win our arbiter, then commit.
+  seg_reg_status arbitrate_waiter(seg_segment *s, seg_cell &c,
+                                  std::uintptr_t st, seg_select_wait &w,
+                                  item_token e, bool is_data, deadline dl,
+                                  sync::interrupt_token *tok) {
+    void *expect_w = nullptr;
+    if (!w.arb->winner.compare_exchange_strong(expect_w, &w,
+                                               std::memory_order_seq_cst)) {
+      resolve_lost_peer(s, c, st);
+      return seg_reg_status::lost;
+    }
+    item_token got = e;
+    if (is_data)
+      c.item.store(e, std::memory_order_seq_cst);
+    else
+      got = c.item.load(std::memory_order_seq_cst);
+    std::uintptr_t ex = st;
+    SSQ_CELL_TRANSITION(cell_waiter, cell_matched);
+    SSQ_CELL_TRANSITION(cell_async, cell_matched);
+    if (c.state.compare_exchange_strong(ex, cell_matched,
+                                        std::memory_order_seq_cst)) {
+      live_.value.fetch_sub(1, std::memory_order_seq_cst);
+      if (st == cell_async) {
+        contribute(s, 2);
+      } else {
+        c.slot.signal();
+        contribute(s, 1);
+      }
+      w.result = got;
+      return seg_reg_status::completed;
+    }
+    // The waiter cancelled between arbitration and commit. The select is
+    // already decided in our favor, so finish directly on this queue.
+    contribute(s, 1);
+    w.result = xfer(e, is_data,
+                    dl.is_unbounded() ? wait_kind::sync : wait_kind::timed, dl,
+                    tok);
+    return seg_reg_status::completed;
+  }
+
+  // Our select lost arbitration but this cell still owes its waiter a
+  // resolution (our index is burned either way).
+  void resolve_lost_peer(seg_segment *s, seg_cell &c, std::uintptr_t st) {
+    if (st == cell_async) {
+      // An async producer's token cannot be dropped: take the cell over
+      // and hand the token back to the queue under a fresh index
+      // (FIFO-relaxed for that token; docs/algorithms.md).
+      item_token got = c.item.load(std::memory_order_seq_cst);
+      std::uintptr_t ex = st;
+      SSQ_CELL_TRANSITION(cell_async, cell_matched);
+      if (c.state.compare_exchange_strong(ex, cell_matched,
+                                          std::memory_order_seq_cst)) {
+        live_.value.fetch_sub(1, std::memory_order_seq_cst);
+        contribute(s, 2);
+        xfer(got, true, wait_kind::async);
+      } else {
+        contribute(s, 1); // async cells never cancel; defensive only
+      }
+      return;
+    }
+    std::uintptr_t ex = st;
+    SSQ_CELL_TRANSITION(cell_waiter, cell_poisoned);
+    if (c.state.compare_exchange_strong(ex, cell_poisoned,
+                                        std::memory_order_seq_cst)) {
+      diag::bump(diag::id::cell_poison);
+      live_.value.fetch_sub(1, std::memory_order_seq_cst);
+      c.slot.signal(); // the waiter re-checks state and retries elsewhere
+    }
+    contribute(s, 1);
+  }
+
+  // Both parties of this cell are selects: claim the peer's record, then
+  // race the two arbiters -- ours first (it decides whether we may commit
+  // at all), then theirs.
+  seg_reg_status arbitrate_peer_select(seg_segment *s, seg_cell &c,
+                                       std::uintptr_t st, seg_select_wait &w,
+                                       item_token e, bool is_data, deadline dl,
+                                       sync::interrupt_token *tok) {
+    auto *peer = reinterpret_cast<seg_select_wait *>(st);
+    std::uintptr_t ex = st;
+    SSQ_CELL_TRANSITION(cell_resv, cell_claimed);
+    if (!c.state.compare_exchange_strong(ex, cell_claimed,
+                                         std::memory_order_seq_cst)) {
+      contribute(s, 1); // peer resolved it first (poisoned)
+      return seg_reg_status::retry;
+    }
+    seg_select_arbiter *parb = peer->arb;
+    parb->pins.fetch_add(1, std::memory_order_seq_cst);
+    void *mine_expect = nullptr;
+    if (!w.arb->winner.compare_exchange_strong(mine_expect, &w,
+                                               std::memory_order_seq_cst)) {
+      // Our select committed elsewhere: release the peer poisoned and wake
+      // it to re-run its round.
+      poison_claimed_peer(s, c, peer, parb);
+      return seg_reg_status::lost;
+    }
+    void *peer_expect = nullptr;
+    if (parb->winner.compare_exchange_strong(peer_expect, peer,
+                                             std::memory_order_seq_cst)) {
+      item_token got = e;
+      if (is_data)
+        c.item.store(e, std::memory_order_seq_cst);
+      else
+        got = c.item.load(std::memory_order_seq_cst);
+      SSQ_CELL_TRANSITION(cell_claimed, cell_matched);
+      c.state.store(cell_matched, std::memory_order_seq_cst);
+      live_.value.fetch_sub(1, std::memory_order_seq_cst);
+      parb->slot.signal();
+      parb->pins.fetch_sub(1, std::memory_order_seq_cst);
+      contribute(s, 1);
+      w.result = got;
+      return seg_reg_status::completed;
+    }
+    // The peer's select also committed elsewhere; kill the cell and finish
+    // our (already won) select directly on this queue.
+    poison_claimed_peer(s, c, peer, parb);
+    w.result = xfer(e, is_data,
+                    dl.is_unbounded() ? wait_kind::sync : wait_kind::timed, dl,
+                    tok);
+    return seg_reg_status::completed;
+  }
+
+  void poison_claimed_peer(seg_segment *s, seg_cell &c, seg_select_wait *peer,
+                           seg_select_arbiter *parb) {
+    SSQ_CELL_TRANSITION(cell_claimed, cell_poisoned);
+    c.state.store(cell_poisoned, std::memory_order_seq_cst);
+    diag::bump(diag::id::cell_poison);
+    live_.value.fetch_sub(1, std::memory_order_seq_cst);
+    peer->poisoned.store(true, std::memory_order_seq_cst);
+    parb->slot.signal();
+    parb->pins.fetch_sub(1, std::memory_order_seq_cst);
+    contribute(s, 1);
+  }
+
+  Reclaimer rec_;
+  sync::spin_policy pol_;
+  void (*disposer_)(item_token) = nullptr;
+
+  SSQ_GUARDED_BY_HAZARD(rec_) padded_atomic<seg_segment *> head_seg_;
+  // Monotonic watermark of the oldest still-linked segment id; bumped
+  // before the displaced head is retired (see find_segment's validation).
+  padded_atomic<std::uint64_t> head_id_;
+  // Lagging traversal-start hints, registered as external hazard roots.
+  SSQ_GUARDED_BY_HAZARD(rec_) padded_atomic<void *> enq_cursor_;
+  SSQ_GUARDED_BY_HAZARD(rec_) padded_atomic<void *> deq_cursor_;
+  padded_atomic<std::uint64_t> senders_;
+  padded_atomic<std::uint64_t> receivers_;
+  // Installed-and-unfinalized cells; observers only.
+  padded_atomic<std::int64_t> live_;
+};
+
+} // namespace ssq

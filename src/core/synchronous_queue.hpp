@@ -5,6 +5,13 @@
 //   * Fair = false -> synchronous dual stack (LIFO pairing; better locality,
 //                     the paper's "unfair" mode)
 //
+// A third template knob picks the *core* carrying the protocol:
+//
+//   * core_kind::linked    -> the paper's linked dual structures (default)
+//   * core_kind::segmented -> the CQS-style waiter-cell segment core
+//                             (core/segment_queue.hpp; Fair only -- cell
+//                             indices are FIFO by construction)
+//
 // Operations (all thread-safe, lock-free, contention-free in the paper's
 // sense):
 //
@@ -24,6 +31,7 @@
 #include <type_traits>
 #include <utility>
 
+#include "core/segment_queue.hpp"
 #include "core/transfer_queue.hpp"
 #include "core/transfer_stack.hpp"
 #include "core/wait_kind.hpp"
@@ -31,16 +39,27 @@
 
 namespace ssq {
 
+enum class core_kind { linked, segmented };
+
 template <typename T, bool Fair = false,
-          typename Reclaimer = mem::pooled_hp_reclaimer>
+          typename Reclaimer = mem::pooled_hp_reclaimer,
+          core_kind Core = core_kind::linked>
 class synchronous_queue {
-  using core_t = std::conditional_t<Fair, transfer_queue<Reclaimer>,
-                                    transfer_stack<Reclaimer>>;
+  static_assert(Core == core_kind::linked || Fair,
+                "the segmented core pairs by FIFO cell index; instantiate it "
+                "with Fair = true");
+  using linked_t = std::conditional_t<Fair, transfer_queue<Reclaimer>,
+                                      transfer_stack<Reclaimer>>;
+  using core_t = std::conditional_t<Core == core_kind::segmented,
+                                    segment_queue<Reclaimer>, linked_t>;
   using codec = item_codec<T>;
 
  public:
   static constexpr bool supports_timed = true;
   static constexpr bool is_fair = Fair;
+  // select dispatches on this: segmented cores take reservation installs
+  // instead of the polling quantum loop (core/select.hpp).
+  static constexpr bool segmented_core = Core == core_kind::segmented;
 
   synchronous_queue() : synchronous_queue(sync::spin_policy::adaptive()) {}
 
@@ -179,5 +198,9 @@ using fair_synchronous_queue = synchronous_queue<T, true, R>;
 
 template <typename T, typename R = mem::pooled_hp_reclaimer>
 using unfair_synchronous_queue = synchronous_queue<T, false, R>;
+
+template <typename T, typename R = mem::pooled_hp_reclaimer>
+using segmented_synchronous_queue =
+    synchronous_queue<T, true, R, core_kind::segmented>;
 
 } // namespace ssq

@@ -1,6 +1,7 @@
 #include "harness/table.hpp"
 
 #include <cstdio>
+#include <cstdlib>
 
 #include "support/config.hpp"
 
@@ -50,6 +51,53 @@ bool table::write_csv(const std::string &path) const {
   };
   emit(cols_);
   for (const auto &r : rows_) emit(r);
+  std::fclose(f);
+  return true;
+}
+
+namespace {
+
+bool is_plain_number(const std::string &s) {
+  if (s.empty()) return false;
+  char *end = nullptr;
+  (void)std::strtod(s.c_str(), &end);
+  return end && *end == '\0';
+}
+
+void json_string(FILE *f, const std::string &s) {
+  std::fputc('"', f);
+  for (char ch : s) {
+    if (ch == '"' || ch == '\\') std::fputc('\\', f);
+    std::fputc(ch, f);
+  }
+  std::fputc('"', f);
+}
+
+} // namespace
+
+bool table::write_json(const std::string &path) const {
+  FILE *f = std::fopen(path.c_str(), "w");
+  if (!f) return false;
+  std::fprintf(f, "{\n  \"columns\": [");
+  for (std::size_t c = 0; c < cols_.size(); ++c) {
+    if (c) std::fprintf(f, ", ");
+    json_string(f, cols_[c]);
+  }
+  std::fprintf(f, "],\n  \"rows\": [");
+  for (std::size_t r = 0; r < rows_.size(); ++r) {
+    std::fprintf(f, "%s\n    {", r ? "," : "");
+    for (std::size_t c = 0; c < rows_[r].size(); ++c) {
+      if (c) std::fprintf(f, ", ");
+      json_string(f, cols_[c]);
+      std::fprintf(f, ": ");
+      if (is_plain_number(rows_[r][c]))
+        std::fprintf(f, "%s", rows_[r][c].c_str());
+      else
+        json_string(f, rows_[r][c]);
+    }
+    std::fprintf(f, "}");
+  }
+  std::fprintf(f, "\n  ]\n}\n");
   std::fclose(f);
   return true;
 }

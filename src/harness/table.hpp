@@ -20,6 +20,11 @@ class table {
   // RFC-4180-ish CSV; returns false on I/O failure.
   bool write_csv(const std::string &path) const;
 
+  // JSON object {"columns": [...], "rows": [{col: cell, ...}, ...]}; cells
+  // that parse as plain numbers are emitted unquoted so downstream tooling
+  // reads the series without coercion. Returns false on I/O failure.
+  bool write_json(const std::string &path) const;
+
   static std::string fmt(double v, int precision = 1);
 
  private:

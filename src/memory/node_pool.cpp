@@ -387,6 +387,15 @@ node_pool &node_pool::global_for(std::size_t size, std::size_t align) {
       config cfg;
       cfg.block_size = size;
       cfg.block_align = align;
+      if (size >= 1024) {
+        // Large-block class (waiter-cell segments are ~4 KiB each). The
+        // default caps are tuned for 64-128 byte qnodes; holding 64
+        // magazine slots plus a 1024-deep ring of 4 KiB blocks would pin
+        // megabytes per thread. Shrink every tier and carve small chunks.
+        cfg.magazine_cap = 8;
+        cfg.ring_cap = 64;
+        cfg.chunk_blocks = 4;
+      }
       pool = new node_pool(cfg); // immortal; reachable from the registry
       reg.classes.push_back({size, align, pool});
     }

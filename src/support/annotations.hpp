@@ -44,6 +44,20 @@
 //     placed after it on the same line). ssq-lint flags any non-seq_cst
 //     operation without one; the empty string is rejected at compile time.
 //
+//   SSQ_CELL_STATE_FIELD
+//     On the atomic word of a waiter cell that runs the segmented-core
+//     state machine (core/segment_queue.hpp). Every store/CAS/exchange of
+//     such a field must be annotated with the edge it takes.
+//
+//   SSQ_CELL_TRANSITION(from, to)
+//     Statement-position marker naming the cell-state edge taken by the
+//     next statement's (or the same line's) mutation of an
+//     SSQ_CELL_STATE_FIELD word. ssq-lint validates the edge against the
+//     legal transition relation (EMPTY -> WAITER/ASYNC/RESERVED/POISONED,
+//     WAITER/ASYNC -> MATCHED, WAITER -> POISONED, RESERVED -> CLAIMED/
+//     POISONED, CLAIMED -> MATCHED/POISONED) and flags both illegal edges
+//     (e.g. poison-after-match) and unannotated mutations.
+//
 // Escape hatch (checked, never free): a comment of the form
 //     // ssq-lint: suppress(<check>) -- <justification>
 // inside or immediately above a function suppresses <check> for that
@@ -64,7 +78,16 @@
 #define SSQ_RETURNS_UNPROTECTED SSQ_ANNOTATE("ssq::returns_unprotected")
 #define SSQ_REQUIRES_EPISODE_RESET SSQ_ANNOTATE("ssq::requires_episode_reset")
 
+#define SSQ_CELL_STATE_FIELD SSQ_ANNOTATE("ssq::cell_state_field")
+
 // static_assert doubles as the non-emptiness check (sizeof("") == 1) and is
 // valid in both statement and class-member position under every compiler.
 #define SSQ_MO_JUSTIFIED(reason) \
   static_assert(sizeof(reason) > 1, "SSQ_MO_JUSTIFIED needs a justification")
+
+// Pure marker for ssq-lint; the static_assert only pins that both states
+// were spelled (stringized non-empty) so a bare SSQ_CELL_TRANSITION(,)
+// fails to compile. Edge legality is the linter's job, not the compiler's.
+#define SSQ_CELL_TRANSITION(from, to)                 \
+  static_assert(sizeof(#from) > 1 && sizeof(#to) > 1, \
+                "SSQ_CELL_TRANSITION needs two named states")

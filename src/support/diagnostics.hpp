@@ -29,6 +29,9 @@ enum class id : unsigned {
   cas_fail,     // head/tail/item CAS failures (contention indicator)
   pool_recycle, // node_pool allocations served from magazine/ring/orphans
   pool_fresh,   // node_pool allocations that carved a fresh chunk
+  seg_alloc,    // segment_queue: 64-cell segments allocated
+  seg_retire,   // segment_queue: whole segments handed to the reclaimer
+  cell_poison,  // segment_queue: cells killed by cancellation/now-miss
   count_        // sentinel
 };
 

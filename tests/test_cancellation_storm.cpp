@@ -9,6 +9,7 @@
 #include <thread>
 #include <vector>
 
+#include "core/segment_queue.hpp"
 #include "core/synchronous_queue.hpp"
 #include "core/transfer_queue.hpp"
 #include "core/transfer_stack.hpp"
@@ -107,6 +108,51 @@ TEST(CancellationStorm, StackFullReclamation) {
     dom.drain();
   }
   EXPECT_EQ(diag::read(diag::id::node_alloc), diag::read(diag::id::node_free));
+}
+
+// ---------------------------------------------------------------------------
+// Segmented core (core/segment_queue.hpp). Cancellation here is cell
+// poisoning, not list splicing: a timed op that gives up CASes its cell
+// WAITER -> POISONED and walks away in O(1). The storms check the same
+// invariants as the linked cores -- no lost wakeups (net == 0), no value
+// corruption (in == out) -- plus segment-granular reclamation: every
+// poison-riddled segment still reaches done == contributions and is
+// retired exactly once.
+// ---------------------------------------------------------------------------
+
+TEST(CancellationStorm, SegmentedBothDirections) {
+  segment_queue<> q;
+  storm(q, 6, 4000);
+}
+
+TEST(CancellationStorm, SegmentedRepeatedRounds) {
+  for (int round = 0; round < 5; ++round) {
+    segment_queue<> q;
+    storm(q, 4, 1500);
+  }
+}
+
+TEST(CancellationStorm, SegmentedFullReclamation) {
+  diag::reset_all();
+  {
+    mem::hazard_domain dom;
+    segment_queue<> q(sync::spin_policy::adaptive(),
+                      mem::pooled_hp_reclaimer{&dom});
+    storm(q, 4, 3000);
+    dom.drain();
+    // The storm's micro-patience waits must actually have poisoned cells
+    // (otherwise this test exercises nothing) and the poisoning must have
+    // let whole segments retire through the reclaimer seam.
+    EXPECT_GT(diag::read(diag::id::cell_poison), 0u);
+    EXPECT_GT(diag::read(diag::id::seg_retire), 0u);
+  }
+  // Queue destroyed: the still-linked suffix was freed in the dtor, so
+  // every allocated segment is accounted for -- none leaked behind a
+  // poisoned cell that failed to contribute.
+  EXPECT_EQ(diag::read(diag::id::node_alloc), diag::read(diag::id::node_free));
+  // Retired segments are a strict subset of linked-in ones: the live tail
+  // (at least the current head) is freed by the dtor, never retired.
+  EXPECT_LT(diag::read(diag::id::seg_retire), diag::read(diag::id::seg_alloc));
 }
 
 TEST(CancellationStorm, FacadeSurvivesInterruptStorm) {

@@ -67,6 +67,22 @@ TEST(LinearizeCheck, FairPlainHp) {
       true, 102);
 }
 
+// Segmented core (core/segment_queue.hpp): FIFO pairing by cell index; the
+// oracle's FIFO rule is load-bearing here.
+TEST(LinearizeCheck, SegmentedPooledHp) {
+  expect_clean_run(
+      std::make_shared<segmented_synchronous_queue<std::uint64_t>>(), true,
+      112);
+}
+
+TEST(LinearizeCheck, SegmentedPlainHp) {
+  expect_clean_run(
+      std::make_shared<
+          synchronous_queue<std::uint64_t, true, mem::hp_reclaimer,
+                            core_kind::segmented>>(),
+      true, 113);
+}
+
 TEST(LinearizeCheck, UnfairPooledHp) {
   expect_clean_run(
       std::make_shared<

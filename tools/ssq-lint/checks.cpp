@@ -36,7 +36,8 @@ namespace {
 
 const char *kCheckNames[] = {"hazard-coverage",   "reread-after-drop",
                              "park-episode",      "mo-unjustified",
-                             "mo-relaxed-control", "bad-suppression"};
+                             "mo-relaxed-control", "cell-state",
+                             "bad-suppression"};
 
 bool known_check(const std::string &s) {
   for (const char *c : kCheckNames)
@@ -868,6 +869,61 @@ struct MoCheck {
   }
 };
 
+// --------------------------------------------------------- cell-state check
+
+// The legal edges of the waiter-cell state machine
+// (core/segment_queue.hpp). `cell_resv` stands for any installed
+// seg_select_wait* reservation pointer; the marker names it symbolically.
+const std::pair<const char *, const char *> kLegalCellEdges[] = {
+    {"cell_empty", "cell_waiter"},    {"cell_empty", "cell_async"},
+    {"cell_empty", "cell_resv"},      {"cell_empty", "cell_poisoned"},
+    {"cell_waiter", "cell_matched"},  {"cell_waiter", "cell_poisoned"},
+    {"cell_async", "cell_matched"},   {"cell_resv", "cell_claimed"},
+    {"cell_resv", "cell_poisoned"},   {"cell_claimed", "cell_matched"},
+    {"cell_claimed", "cell_poisoned"},
+};
+
+bool legal_cell_edge(const CellTransition &t) {
+  for (const auto &e : kLegalCellEdges)
+    if (t.from == e.first && t.to == e.second) return true;
+  return false;
+}
+
+// Member calls on a cell-state field that write it. Loads are free; every
+// write must declare which protocol edge it takes.
+bool is_state_mutator(const std::string &s) {
+  return s == "store" || s == "exchange" || s == "compare_exchange_strong" ||
+         s == "compare_exchange_weak" || s == "fetch_or" || s == "fetch_and" ||
+         s == "fetch_add" || s == "fetch_sub";
+}
+
+// A mutation at line L is covered by a marker within the preceding 3 lines
+// (clang-format may split the operation across lines; markers stack, one
+// per edge a single CAS can take).
+bool transition_covers(const FileModel &m, int line) {
+  for (const CellTransition &t : m.cell_transitions)
+    if (t.line <= line && t.line >= line - 3) return true;
+  return false;
+}
+
+void check_cell_state(const FileModel &m, const Function &f,
+                      std::vector<Diagnostic> &diags) {
+  std::vector<Token> flat;
+  all_tokens(f.body, flat);
+  std::set<int> seen;
+  for (std::size_t k = 0; k + 2 < flat.size(); ++k) {
+    if (!is_id(flat[k]) || !m.cell_state_fields.count(flat[k].text)) continue;
+    if (!tok_is(flat[k + 1], ".")) continue;
+    if (!is_id(flat[k + 2]) || !is_state_mutator(flat[k + 2].text)) continue;
+    int line = flat[k].line;
+    if (transition_covers(m, line)) continue;
+    if (!seen.insert(line).second) continue;
+    diags.push_back({basename_of(m.path), line, "cell-state",
+                     "mutation of cell-state field '" + flat[k].text +
+                         "' without an SSQ_CELL_TRANSITION marker"});
+  }
+}
+
 } // namespace
 
 std::vector<Diagnostic> run_checks(const FileModel &model) {
@@ -915,6 +971,25 @@ std::vector<Diagnostic> run_checks(const FileModel &model) {
                  suppressed(f, sups, "mo-relaxed-control"), diags, {}};
       mo.walk(f.body);
     }
+
+    // Check 5: cell-state discipline (only meaningful for files declaring an
+    // SSQ_CELL_STATE_FIELD; ctors/dtors were skipped above with the rest).
+    if (!m.cell_state_fields.empty() && !suppressed(f, sups, "cell-state"))
+      check_cell_state(m, f, diags);
+  }
+
+  // Every marker must name a legal protocol edge, wherever it appears.
+  for (const CellTransition &t : m.cell_transitions) {
+    if (legal_cell_edge(t)) continue;
+    bool sup = false;
+    for (const Function &f : m.functions)
+      if (t.line >= f.line && t.line <= f.end_line &&
+          suppressed(f, sups, "cell-state"))
+        sup = true;
+    if (sup) continue;
+    diags.push_back({basename_of(m.path), t.line, "cell-state",
+                     "illegal cell-state transition " + t.from + " -> " +
+                         t.to});
   }
 
   std::sort(diags.begin(), diags.end());

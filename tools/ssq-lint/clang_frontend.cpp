@@ -46,6 +46,7 @@ struct AnnoCounts {
   int releases = 0;
   int returns_unprotected = 0;
   int episode = 0;
+  int cell_state = 0;
 };
 
 class AnnoVisitor : public clang::RecursiveASTVisitor<AnnoVisitor> {
@@ -70,6 +71,8 @@ class AnnoVisitor : public clang::RecursiveASTVisitor<AnnoVisitor> {
         ++counts_.returns_unprotected;
       else if (a == "ssq::requires_episode_reset")
         ++counts_.episode;
+      else if (a == "ssq::cell_state_field")
+        ++counts_.cell_state;
     }
     return true;
   }
@@ -141,6 +144,7 @@ AnnoCounts token_counts(const std::string &path) {
     if (f.requires_episode_reset) ++c.episode;
   }
   c.guarded = static_cast<int>(m.guarded_fields.size());
+  c.cell_state = static_cast<int>(m.cell_state_fields.size());
   return c;
 }
 
@@ -192,6 +196,8 @@ std::vector<Diagnostic> clang_cross_check(
     compare(f, "returns-unprotected", clang_c.returns_unprotected,
             token_c.returns_unprotected, out);
     compare(f, "episode-reset", clang_c.episode, token_c.episode, out);
+    compare(f, "cell-state-field", clang_c.cell_state, token_c.cell_state,
+            out);
   }
   return out;
 }

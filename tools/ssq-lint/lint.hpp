@@ -24,6 +24,10 @@
 //   mo-relaxed-control     unjustified memory_order_relaxed load feeding a
 //                          branch condition (reported instead of
 //                          mo-unjustified for that op)
+//   cell-state             mutation of an SSQ_CELL_STATE_FIELD without an
+//                          adjacent SSQ_CELL_TRANSITION marker, or a marker
+//                          naming an edge outside the legal cell protocol
+//                          (core/segment_queue.hpp's state machine)
 //   bad-suppression        a suppression comment with no justification or
 //                          an unknown check name
 #pragma once
@@ -106,10 +110,18 @@ struct Function {
   std::set<std::size_t> deref_params;
 };
 
+// One SSQ_CELL_TRANSITION(from, to) marker as written in source.
+struct CellTransition {
+  int line = 0;
+  std::string from, to;
+};
+
 struct FileModel {
   std::string path;
   std::set<std::string> guarded_fields; // field names under GUARDED_BY_HAZARD
   std::set<std::string> node_types;     // structs owning a guarded field
+  std::set<std::string> cell_state_fields; // fields under SSQ_CELL_STATE_FIELD
+  std::vector<CellTransition> cell_transitions;
   std::vector<Function> functions;
   std::vector<Comment> comments;
   std::set<int> mo_justified_lines; // lines holding an SSQ_MO_JUSTIFIED

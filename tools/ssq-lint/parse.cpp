@@ -42,6 +42,17 @@ struct Parser {
   }
   bool eof() const { return cur().kind == Token::Kind::Eof; }
 
+  // Record SSQ_CELL_TRANSITION(from, to) when `i` sits on the macro name.
+  // Lookahead only; the caller's normal token consumption carries on, so the
+  // marker stays visible in the statement stream it annotates.
+  void maybe_transition() {
+    if (!is_ident(cur(), "SSQ_CELL_TRANSITION")) return;
+    if (is_punct(at(1), "(") && at(2).kind == Token::Kind::Ident &&
+        is_punct(at(3), ",") && at(4).kind == Token::Kind::Ident &&
+        is_punct(at(5), ")"))
+      model.cell_transitions.push_back({cur().line, at(2).text, at(4).text});
+  }
+
   // Skip a balanced group starting at an opener token ('(', '{', '[', '<').
   // For '<' we only use this right after `template`, where it really is a
   // bracket. Leaves `i` one past the closer.
@@ -63,6 +74,7 @@ struct Parser {
   // --- annotation state pending before the next declaration ----------------
   struct Pending {
     bool guarded = false;
+    bool cell_state = false;
     bool acquires = false;
     bool releases = false;
     bool returns_unprot = false;
@@ -87,6 +99,11 @@ struct Parser {
           pend.guarded = true;
           ++i;
           if (is_punct(cur(), "(")) skip_balanced("(", ")");
+          continue;
+        }
+        if (tok.text == "SSQ_CELL_STATE_FIELD") {
+          pend.cell_state = true;
+          ++i;
           continue;
         }
         if (tok.text == "SSQ_ACQUIRES_HAZARD") { pend.acquires = true; ++i; continue; }
@@ -271,16 +288,17 @@ struct Parser {
     while (!eof()) {
       if (is_punct(cur(), open)) ++depth;
       else if (is_punct(cur(), close)) --depth;
+      maybe_transition(); // e.g. markers inside a switch body
       out.push_back(cur());
       ++i;
       if (depth == 0) return;
     }
   }
 
-  // Field or prototype ended with ';'. Only guarded fields matter.
+  // Field or prototype ended with ';'. Only annotated fields matter.
   void handle_field(const std::vector<Token> &toks,
                     const std::string &class_name, const Pending &pend) {
-    if (!pend.guarded || toks.empty()) return;
+    if ((!pend.guarded && !pend.cell_state) || toks.empty()) return;
     // Field name: last top-level identifier before any '=' / brace-init /
     // array bracket. toks has balanced groups inlined, so walk with depth.
     std::string name;
@@ -298,8 +316,11 @@ struct Parser {
         name = tok.text;
     }
     if (!name.empty()) {
-      model.guarded_fields.insert(name);
-      if (!class_name.empty()) model.node_types.insert(class_name);
+      if (pend.guarded) {
+        model.guarded_fields.insert(name);
+        if (!class_name.empty()) model.node_types.insert(class_name);
+      }
+      if (pend.cell_state) model.cell_state_fields.insert(name);
     }
   }
 
@@ -537,6 +558,7 @@ struct Parser {
       } else {
         if (is_ident(cur(), "SSQ_MO_JUSTIFIED"))
           model.mo_justified_lines.insert(cur().line);
+        maybe_transition();
         out.push_back(cur());
       }
       ++i;
@@ -561,6 +583,7 @@ struct Parser {
       }
       if (is_ident(tok, "SSQ_MO_JUSTIFIED"))
         model.mo_justified_lines.insert(tok.line);
+      maybe_transition();
       out.push_back(tok);
       ++i;
     }

@@ -17,7 +17,8 @@
 //
 //   ./torture --impl=new-fair --threads=8 --seconds=30 --seed=42
 //             --check=linearize [--fuzz=1]
-//   impls: new-fair new-unfair java5-fair java5-unfair naive eliminating
+//   impls: new-fair new-unfair seg-fair java5-fair java5-unfair naive
+//          eliminating
 //          ltq exchanger channel
 //   (exchanger and channel support --check=linearize only.)
 //
@@ -115,6 +116,9 @@ impl_desc make_impl(const std::string &name) {
   if (name == "new-unfair")
     return make_impl_both(
         std::make_shared<synchronous_queue<std::uint64_t, false>>(), false);
+  if (name == "seg-fair")
+    return make_impl_both(
+        std::make_shared<segmented_synchronous_queue<std::uint64_t>>(), true);
   if (name == "java5-fair")
     return make_impl_both(std::make_shared<java5_sq<std::uint64_t, true>>(),
                           true);
