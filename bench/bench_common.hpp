@@ -92,12 +92,24 @@ inline void emit(const harness::table &t, const std::string &csv_path,
     std::printf("(csv written to %s)\n", csv_path.c_str());
 }
 
-// Full-config form: CSV plus the optional --json series.
-inline void emit(const harness::table &t, const sweep_config &cfg,
+// Full-config form: CSV plus the optional --json series. The JSON header
+// records provenance: which memory-order mode the binary was compiled in
+// (annotations.hpp's SSQ_MO switch) and the source revision, so committed
+// BENCH_*.json snapshots are self-describing and bench_compare.py can
+// refuse to diff two runs of the same mode as if they were a differential.
+inline void emit(harness::table &t, const sweep_config &cfg,
                  const char *title) {
   emit(t, cfg.csv, title);
-  if (!cfg.json.empty() && t.write_json(cfg.json))
-    std::printf("(json written to %s)\n", cfg.json.c_str());
+  if (!cfg.json.empty()) {
+    t.set_meta("memory_order", SSQ_MEMORY_ORDER_MODE);
+#if defined(SSQ_GIT_REV)
+    t.set_meta("git_rev", SSQ_GIT_REV);
+#else
+    t.set_meta("git_rev", "unknown");
+#endif
+    if (t.write_json(cfg.json))
+      std::printf("(json written to %s)\n", cfg.json.c_str());
+  }
 }
 
 } // namespace ssq::bench

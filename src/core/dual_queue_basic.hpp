@@ -9,6 +9,14 @@
 // reference version remains usable on a uniprocessor.
 //
 // Line-number comments refer to Listing 5.
+//
+// Memory-order discipline (docs/memory_model.md): the head/tail/next CASes
+// and the snapshot validation re-reads stay seq_cst (they are Listing 5's
+// linearization points). The data-word handoff relaxes as the labeled edge
+// `node.data` -- release: the fulfilling CAS of the waiter's data word;
+// acquire: the waiter's spin probe and final read -- and the annotated
+// acquire snapshot loads. Weakened orders are spelled SSQ_MO(...) so
+// -DSSQ_FORCE_SEQ_CST pins the file for differential runs.
 #pragma once
 
 #include <atomic>
@@ -71,7 +79,7 @@ class dual_queue_basic {
         SSQ_MO_JUSTIFIED(
             "acquire: the seq_cst tail re-check on the next line validates "
             "the snapshot");
-        node *n = t->next.load(std::memory_order_acquire); // line 09
+        node *n = t->next.load(SSQ_MO(acquire)); // line 09
         if (t == tail_.value.load(std::memory_order_seq_cst)) { // line 10
           if (n != nullptr) {                    // line 11
             cas_tail(t, n);                      // line 12
@@ -81,12 +89,13 @@ class dual_queue_basic {
                     n, offer, std::memory_order_seq_cst)) { // line 13
               cas_tail(t, offer);                // line 14
               spin_while([&] {                   // lines 15-16
-                return offer->data.load(std::memory_order_seq_cst) == e;
+                SSQ_MO_ACQUIRE_EDGE("node.data");
+                return offer->data.load(SSQ_MO(acquire)) == e;
               });
               h = hz_h.protect(head_.value);     // line 17
               SSQ_MO_JUSTIFIED(
                   "acquire: comparison-only read under a validated hazard");
-              if (offer == h->next.load(std::memory_order_acquire)) // line 18
+              if (offer == h->next.load(SSQ_MO(acquire))) // line 18
                 cas_head(h, offer);              // line 19
               if (offer->life.mark_released()) rec_.retire(offer);
               return;                            // line 20
@@ -97,7 +106,7 @@ class dual_queue_basic {
         SSQ_MO_JUSTIFIED(
             "acquire: snapshot; the seq_cst re-reads below validate it "
             "before n is trusted");
-        node *n = h->next.load(std::memory_order_acquire); // line 24
+        node *n = h->next.load(SSQ_MO(acquire)); // line 24
         hz_n.set(n);
         if (t != tail_.value.load(std::memory_order_seq_cst) ||
             h != head_.value.load(std::memory_order_seq_cst) ||
@@ -105,6 +114,9 @@ class dual_queue_basic {
             n == nullptr)
           continue;                              // line 25-26: bad snapshot
         item_token expected = empty_token;
+        // seq_cst: the data-word CAS is the fulfill linearization point;
+        // the label documents the release side of the node.data edge.
+        SSQ_MO_RELEASE_EDGE("node.data");
         bool success = n->data.compare_exchange_strong(
             expected, e, std::memory_order_seq_cst); // line 27
         cas_head(h, n);                          // line 28
@@ -129,7 +141,7 @@ class dual_queue_basic {
         SSQ_MO_JUSTIFIED(
             "acquire: the seq_cst tail re-check on the next line validates "
             "the snapshot");
-        node *n = t->next.load(std::memory_order_acquire);
+        node *n = t->next.load(SSQ_MO(acquire));
         if (t == tail_.value.load(std::memory_order_seq_cst)) {
           if (n != nullptr) {
             cas_tail(t, n);
@@ -139,15 +151,16 @@ class dual_queue_basic {
                                                 std::memory_order_seq_cst)) {
               cas_tail(t, req);
               spin_while([&] {
-                return req->data.load(std::memory_order_seq_cst) ==
-                       empty_token;
+                SSQ_MO_ACQUIRE_EDGE("node.data");
+                return req->data.load(SSQ_MO(acquire)) == empty_token;
               });
               h = hz_h.protect(head_.value);
               SSQ_MO_JUSTIFIED(
                   "acquire: comparison-only read under a validated hazard");
-              if (req == h->next.load(std::memory_order_acquire))
+              if (req == h->next.load(SSQ_MO(acquire)))
                 cas_head(h, req);
-              item_token got = req->data.load(std::memory_order_seq_cst);
+              SSQ_MO_ACQUIRE_EDGE("node.data");
+              item_token got = req->data.load(SSQ_MO(acquire));
               if (req->life.mark_released()) rec_.retire(req);
               return codec::decode_consume(got);
             }
@@ -157,7 +170,7 @@ class dual_queue_basic {
         SSQ_MO_JUSTIFIED(
             "acquire: snapshot; the seq_cst re-reads below validate it "
             "before n is trusted");
-        node *n = h->next.load(std::memory_order_acquire);
+        node *n = h->next.load(SSQ_MO(acquire));
         hz_n.set(n);
         if (t != tail_.value.load(std::memory_order_seq_cst) ||
             h != head_.value.load(std::memory_order_seq_cst) ||
@@ -182,9 +195,9 @@ class dual_queue_basic {
   // dummy is only retired after head_ moves past it (stale answers OK).
   bool is_empty() const noexcept {
     SSQ_MO_JUSTIFIED("acquire: racy snapshot, documented approximate");
-    node *h = head_.value.load(std::memory_order_acquire);
+    node *h = head_.value.load(SSQ_MO(acquire));
     SSQ_MO_JUSTIFIED("acquire: racy snapshot, documented approximate");
-    return h->next.load(std::memory_order_acquire) == nullptr;
+    return h->next.load(SSQ_MO(acquire)) == nullptr;
   }
 
  private:

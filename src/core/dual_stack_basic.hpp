@@ -10,6 +10,14 @@
 // immutable data field under a validated hazard *before* the match CAS.
 //
 // Line-number comments refer to Listing 6.
+//
+// Memory-order discipline (docs/memory_model.md): the head CAS and the
+// publish-and-revalidate reads stay seq_cst (Listing 6's linearization
+// points). The match-word handoff relaxes as the labeled edge `node.match`
+// -- release: the match CAS in match_word; acquire: the waiter's spin probe
+// and follow-up read -- plus the annotated acquire snapshot loads.
+// Weakened orders are spelled SSQ_MO(...) so -DSSQ_FORCE_SEQ_CST pins the
+// file for differential runs.
 #pragma once
 
 #include <atomic>
@@ -67,7 +75,7 @@ class dual_stack_basic {
 
   bool is_empty() const noexcept {
     SSQ_MO_JUSTIFIED("acquire: racy snapshot, no dereference follows");
-    return head_.value.load(std::memory_order_acquire) == nullptr;
+    return head_.value.load(SSQ_MO(acquire)) == nullptr;
   }
 
  private:
@@ -87,19 +95,21 @@ class dual_stack_basic {
         SSQ_MO_JUSTIFIED(
             "relaxed: pre-publication store; the seq_cst head CAS below "
             "releases the node");
-        d->next.store(h, std::memory_order_relaxed); // line 08
+        d->next.store(h, SSQ_MO(relaxed)); // line 08
         if (!head_.value.compare_exchange_strong(
                 h, d, std::memory_order_seq_cst)) // line 09
           continue;                               // line 10
         spin_while([&] {                          // lines 11-12
-          return d->match.load(std::memory_order_seq_cst) == empty_token;
+          SSQ_MO_ACQUIRE_EDGE("node.match");
+          return d->match.load(SSQ_MO(acquire)) == empty_token;
         });
-        item_token m = d->match.load(std::memory_order_seq_cst);
+        SSQ_MO_ACQUIRE_EDGE("node.match");
+        item_token m = d->match.load(SSQ_MO(acquire));
         h = hz_h.protect(head_.value);            // line 13
         SSQ_MO_JUSTIFIED(
             "acquire: comparison-only read under a validated hazard on h");
         if (h != nullptr &&
-            d == h->next.load(std::memory_order_acquire)) { // line 14
+            d == h->next.load(SSQ_MO(acquire))) { // line 14
           pop_two(h, read_next_of(d, hz_n));      // line 15
         }
         if (d->life.mark_released()) rec_.retire(d);
@@ -113,7 +123,7 @@ class dual_stack_basic {
         SSQ_MO_JUSTIFIED(
             "relaxed: pre-publication store; the seq_cst head CAS below "
             "releases the node");
-        d->next.store(h, std::memory_order_relaxed);
+        d->next.store(h, SSQ_MO(relaxed));
         if (!head_.value.compare_exchange_strong(
                 h, d, std::memory_order_seq_cst)) // line 19
           continue;                               // line 20
@@ -152,6 +162,9 @@ class dual_stack_basic {
   // casMatch(null, f), folding the payload in (see port note).
   void match_word(node *waiter, node *f) noexcept {
     item_token expected = empty_token;
+    // seq_cst: the match CAS is the annihilation linearization point; the
+    // label documents the release side of the node.match edge.
+    SSQ_MO_RELEASE_EDGE("node.match");
     waiter->match.compare_exchange_strong(expected, match_value(waiter, f),
                                           std::memory_order_seq_cst);
   }
@@ -165,7 +178,7 @@ class dual_stack_basic {
       SSQ_MO_JUSTIFIED(
           "acquire: first half of publish-and-revalidate; the seq_cst "
           "re-read below is the ordering anchor");
-      node *n = x->next.load(std::memory_order_acquire);
+      node *n = x->next.load(SSQ_MO(acquire));
       hz.set(n);
       if (x->life.is_unlinked()) return n; // caller rechecks
       if (x->next.load(std::memory_order_seq_cst) == n) return n;
@@ -181,7 +194,7 @@ class dual_stack_basic {
     SSQ_MO_JUSTIFIED(
         "acquire: next is immutable once the pair is at the top (no "
         "cancellation in the basic variant); CAS success validates it");
-    node *partner = top->next.load(std::memory_order_acquire);
+    node *partner = top->next.load(SSQ_MO(acquire));
     node *expected = top;
     if (head_.value.compare_exchange_strong(expected, rest,
                                             std::memory_order_seq_cst)) {

@@ -37,6 +37,37 @@
 // (Aksenov et al., PAPERS.md; docs/memory_reclamation.md §8): live
 // segments are those holding at least one unfinalized cell, plus at most
 // one fully-done trailing segment, so resident bytes are O(live waiters).
+//
+// Memory-order discipline (docs/memory_model.md; ssq-lint --check=mo-pairing
+// audits the edge table). Orders are spelled SSQ_MO(...) so that
+// -DSSQ_FORCE_SEQ_CST pins every site back to seq_cst for differential
+// testing. Labeled release/acquire edges in this file:
+//
+//   cell.publish  install CAS (EMPTY -> WAITER/ASYNC/RESERVED) publishes the
+//                 cell's item and, for reservations, the selector's wait
+//                 record; acquired by the partner's first state read and by
+//                 the claim CAS.
+//   cell.claim    RESERVED -> CLAIMED CAS; acquired by the selector's
+//                 finalize spin (it must observe the partner's claim before
+//                 trusting the final state).
+//   cell.commit   the final-state CAS/store (MATCHED or POISONED) publishes
+//                 the matcher's item deposit; acquired by the woken waiter
+//                 and the finalizing selector before they read `item`.
+//   seg.link      next-pointer install CAS publishes the fresh segment's
+//                 construction; acquired by every next-pointer traversal.
+//   seg.retire    a party's `done` contribution releases its last cell
+//                 accesses; reap_head's `done` read acquires all 128 before
+//                 the segment is handed to the reclaimer.
+//   seg.cursor    cursor-advance CAS releases the traversal that found the
+//                 segment; the acquire side is the hazard-slot protect()
+//                 (memory/hazard.hpp), which is seq_cst by protocol.
+//
+// Deliberately still seq_cst (the oracle's FIFO-pairing proof and the
+// reclamation protocol need a single total order over these):
+//   * senders_/receivers_ FAA and the counterpart_waiting pre-check -- the
+//     now-path's counter Dekker collapses under weaker orders;
+//   * head_seg_ CAS, head_id_ watermark, and hazard publish/validate;
+//   * select arbiter winner CAS and pin counters (cross-queue agreement).
 #pragma once
 
 #include <atomic>
@@ -216,6 +247,8 @@ class segment_queue {
                                  sync::interrupt_token *tok) {
     typename Reclaimer::slot hz(rec_);
     for (;;) {
+      // seq_cst: the winner word is the select round's decision point and
+      // is raced from other queues' partners; keep it totally ordered.
       if (w.arb->winner.load(std::memory_order_seq_cst) != nullptr)
         return seg_reg_status::lost;
       const std::uint64_t idx = next_index(is_data);
@@ -232,13 +265,16 @@ class segment_queue {
   // for take-side registrations.
   bool select_finalize(seg_select_wait &w) {
     seg_cell &c = *w.cl;
-    std::uintptr_t st = c.state.load(std::memory_order_seq_cst);
+    SSQ_MO_ACQUIRE_EDGE("cell.commit");
+    std::uintptr_t st = c.state.load(SSQ_MO(acquire));
     if (st == reinterpret_cast<std::uintptr_t>(&w)) {
-      SSQ_CELL_TRANSITION(cell_resv, cell_poisoned);
+      SSQ_CELL_TRANSITION(cell_resv, cell_poisoned, "cell.commit");
+      SSQ_MO_RELEASE_EDGE("cell.commit");
       if (c.state.compare_exchange_strong(st, cell_poisoned,
-                                          std::memory_order_seq_cst)) {
+                                          SSQ_MO(acq_rel))) {
         diag::bump(diag::id::cell_poison);
-        live_.value.fetch_sub(1, std::memory_order_seq_cst);
+        SSQ_MO_JUSTIFIED("relaxed: live_ feeds racy observers only");
+        live_.value.fetch_sub(1, SSQ_MO(relaxed));
         contribute(w.seg, 1);
         return false;
       }
@@ -246,11 +282,15 @@ class segment_queue {
     for (int i = 0; st == cell_claimed; ++i) {
       // A partner is between claim and commit -- a handful of instructions.
       pol_.relax(i);
-      st = c.state.load(std::memory_order_seq_cst);
+      SSQ_MO_ACQUIRE_EDGE("cell.claim");
+      st = c.state.load(SSQ_MO(acquire));
     }
     const bool matched = st == cell_matched;
-    if (matched && !w.is_data)
-      w.result = c.item.load(std::memory_order_seq_cst);
+    if (matched && !w.is_data) {
+      SSQ_MO_JUSTIFIED("relaxed: the cell.commit acquire above ordered the "
+                       "partner's item deposit before this read");
+      w.result = c.item.load(SSQ_MO(relaxed));
+    }
     contribute(w.seg, 1);
     return matched;
   }
@@ -259,11 +299,13 @@ class segment_queue {
   // Racy snapshots by contract (facade docs), exact at quiescence.
 
   bool is_empty() const noexcept {
-    return live_.value.load(std::memory_order_seq_cst) <= 0;
+    SSQ_MO_JUSTIFIED("relaxed: racy observer by contract");
+    return live_.value.load(SSQ_MO(relaxed)) <= 0;
   }
 
   std::size_t unsafe_length() const noexcept {
-    std::int64_t n = live_.value.load(std::memory_order_seq_cst);
+    SSQ_MO_JUSTIFIED("relaxed: racy observer by contract");
+    std::int64_t n = live_.value.load(SSQ_MO(relaxed));
     return n > 0 ? static_cast<std::size_t>(n) : 0;
   }
 
@@ -273,6 +315,9 @@ class segment_queue {
   enum class cell_outcome { transferred, cancelled, retry };
 
   std::uint64_t next_index(bool is_data) noexcept {
+    // seq_cst: the index FAAs and the counterpart_waiting counter reads
+    // form the now-path's Dekker; the FIFO-pairing oracle argument orders
+    // all four words in one total order (docs/memory_model.md).
     return (is_data ? senders_ : receivers_)
         .value.fetch_add(1, std::memory_order_seq_cst);
   }
@@ -302,11 +347,12 @@ class segment_queue {
       }
       if (s->id == id) break;
       const std::uint64_t sid = s->id;
-      seg_segment *n = s->next.load(std::memory_order_seq_cst);
+      SSQ_MO_ACQUIRE_EDGE("seg.link");
+      seg_segment *n = s->next.load(SSQ_MO(acquire));
       if (n == nullptr) {
         seg_segment *fresh = rec_.template create<seg_segment>(sid + 1);
-        if (s->next.compare_exchange_strong(n, fresh,
-                                            std::memory_order_seq_cst)) {
+        SSQ_MO_RELEASE_EDGE("seg.link");
+        if (s->next.compare_exchange_strong(n, fresh, SSQ_MO(acq_rel))) {
           diag::bump(diag::id::seg_alloc);
           n = fresh;
         } else {
@@ -319,6 +365,8 @@ class segment_queue {
       // if the head watermark passed it, i.e. moved beyond sid+1. The
       // watermark is bumped before the old head is retired, so a stale
       // reading here implies our hazard published before any scan freed n.
+      // seq_cst: this load must order against the hazard publish in
+      // hz.set and the reaper's watermark bump (store-load Dekker).
       if (head_id_.value.load(std::memory_order_seq_cst) > sid + 1) {
         s = hz.protect(head_seg_.value);
         continue;
@@ -338,9 +386,10 @@ class segment_queue {
       seg_segment *cur = static_cast<seg_segment *>(hz.protect(cursor.value));
       if (cur->id >= s->id) return;
       void *expected = static_cast<void *>(cur);
+      SSQ_MO_RELEASE_EDGE("seg.cursor");
       if (cursor.value.compare_exchange_strong(expected,
                                                static_cast<void *>(s),
-                                               std::memory_order_seq_cst))
+                                               SSQ_MO(release)))
         return;
     }
   }
@@ -348,7 +397,8 @@ class segment_queue {
   // One party's share of a cell's retirement accounting. Must be this
   // party's last access to the cell/segment.
   void contribute(seg_segment *s, unsigned n) {
-    if (s->done.fetch_add(n, std::memory_order_seq_cst) + n == seg_contribs)
+    SSQ_MO_RELEASE_EDGE("seg.retire");
+    if (s->done.fetch_add(n, SSQ_MO(release)) + n == seg_contribs)
       reap_head();
   }
 
@@ -356,11 +406,15 @@ class segment_queue {
     typename Reclaimer::slot hz(rec_);
     for (;;) {
       seg_segment *h = hz.protect(head_seg_.value);
-      if (h->done.load(std::memory_order_seq_cst) != seg_contribs) return;
-      seg_segment *n = h->next.load(std::memory_order_seq_cst);
+      SSQ_MO_ACQUIRE_EDGE("seg.retire");
+      if (h->done.load(SSQ_MO(acquire)) != seg_contribs) return;
+      SSQ_MO_ACQUIRE_EDGE("seg.link");
+      seg_segment *n = h->next.load(SSQ_MO(acquire));
       if (n == nullptr) return; // never unlink the only segment
       seg_segment *expected = h;
       SSQ_INTERLEAVE("sq.reap");
+      // seq_cst: the head swing orders against concurrent protect-validate
+      // (hazard publish / watermark read) in find_segment.
       if (head_seg_.value.compare_exchange_strong(expected, n,
                                                   std::memory_order_seq_cst)) {
         bump_head_id(h->id + 1);
@@ -372,6 +426,9 @@ class segment_queue {
   }
 
   void bump_head_id(std::uint64_t id) noexcept {
+    // seq_cst: the watermark is the retire side of the protect-validate
+    // Dekker in find_segment; it must be totally ordered with the hazard
+    // publish and the validation load.
     std::uint64_t cur = head_id_.value.load(std::memory_order_seq_cst);
     while (cur < id && !head_id_.value.compare_exchange_weak(
                            cur, id, std::memory_order_seq_cst)) {
@@ -388,7 +445,8 @@ class segment_queue {
   cell_outcome run_cell(seg_segment *s, seg_cell &c, std::uint64_t idx,
                         item_token e, bool is_data, wait_kind wk, deadline dl,
                         sync::interrupt_token *tok, item_token &out) {
-    std::uintptr_t st = c.state.load(std::memory_order_seq_cst);
+    SSQ_MO_ACQUIRE_EDGE("cell.publish");
+    std::uintptr_t st = c.state.load(SSQ_MO(acquire));
     for (;;) {
       if (st == cell_empty) {
         if (wk == wait_kind::now) {
@@ -396,31 +454,39 @@ class segment_queue {
           // index; it just has not arrived. A now-op cannot wait: kill the
           // cell (the counterpart will re-FAA) and re-check the counters.
           SSQ_INTERLEAVE("sq.now.poison");
-          SSQ_CELL_TRANSITION(cell_empty, cell_poisoned);
+          SSQ_CELL_TRANSITION(cell_empty, cell_poisoned, "cell.commit");
+          SSQ_MO_RELEASE_EDGE("cell.commit");
           if (c.state.compare_exchange_strong(st, cell_poisoned,
-                                              std::memory_order_seq_cst)) {
+                                              SSQ_MO(acq_rel))) {
             diag::bump(diag::id::cell_poison);
             contribute(s, 1);
             return cell_outcome::retry;
           }
           continue; // counterpart arrived after all; st reloaded
         }
-        if (is_data) c.item.store(e, std::memory_order_seq_cst);
+        if (is_data) {
+          SSQ_MO_JUSTIFIED("relaxed: published by the cell.publish CAS below");
+          c.item.store(e, SSQ_MO(relaxed));
+        }
         SSQ_INTERLEAVE("sq.install");
         if (wk == wait_kind::async) {
-          SSQ_CELL_TRANSITION(cell_empty, cell_async);
+          SSQ_CELL_TRANSITION(cell_empty, cell_async, "cell.publish");
+          SSQ_MO_RELEASE_EDGE("cell.publish");
           if (c.state.compare_exchange_strong(st, cell_async,
-                                              std::memory_order_seq_cst)) {
-            live_.value.fetch_add(1, std::memory_order_seq_cst);
+                                              SSQ_MO(acq_rel))) {
+            SSQ_MO_JUSTIFIED("relaxed: live_ feeds racy observers only");
+            live_.value.fetch_add(1, SSQ_MO(relaxed));
             out = e; // the matcher contributes both shares for async cells
             return cell_outcome::transferred;
           }
           continue;
         }
-        SSQ_CELL_TRANSITION(cell_empty, cell_waiter);
+        SSQ_CELL_TRANSITION(cell_empty, cell_waiter, "cell.publish");
+        SSQ_MO_RELEASE_EDGE("cell.publish");
         if (c.state.compare_exchange_strong(st, cell_waiter,
-                                            std::memory_order_seq_cst)) {
-          live_.value.fetch_add(1, std::memory_order_seq_cst);
+                                            SSQ_MO(acq_rel))) {
+          SSQ_MO_JUSTIFIED("relaxed: live_ feeds racy observers only");
+          live_.value.fetch_add(1, SSQ_MO(relaxed));
           return await_match(s, c, idx, e, is_data, dl, tok, out);
         }
         continue;
@@ -431,17 +497,23 @@ class segment_queue {
       }
       if (st == cell_waiter || st == cell_async) {
         item_token got = e;
-        if (is_data)
-          c.item.store(e, std::memory_order_seq_cst);
-        else
-          got = c.item.load(std::memory_order_seq_cst);
+        if (is_data) {
+          SSQ_MO_JUSTIFIED("relaxed: the cell.commit CAS below releases it");
+          c.item.store(e, SSQ_MO(relaxed));
+        } else {
+          SSQ_MO_JUSTIFIED("relaxed: ordered by the cell.publish acquire "
+                           "that read WAITER/ASYNC");
+          got = c.item.load(SSQ_MO(relaxed));
+        }
         std::uintptr_t ex = st;
         SSQ_INTERLEAVE("sq.match.cas");
-        SSQ_CELL_TRANSITION(cell_waiter, cell_matched);
-        SSQ_CELL_TRANSITION(cell_async, cell_matched);
+        SSQ_CELL_TRANSITION(cell_waiter, cell_matched, "cell.commit");
+        SSQ_CELL_TRANSITION(cell_async, cell_matched, "cell.commit");
+        SSQ_MO_RELEASE_EDGE("cell.commit");
         if (c.state.compare_exchange_strong(ex, cell_matched,
-                                            std::memory_order_seq_cst)) {
-          live_.value.fetch_sub(1, std::memory_order_seq_cst);
+                                            SSQ_MO(acq_rel))) {
+          SSQ_MO_JUSTIFIED("relaxed: live_ feeds racy observers only");
+          live_.value.fetch_sub(1, SSQ_MO(relaxed));
           if (st == cell_async) {
             contribute(s, 2); // the absent owner's share is ours
           } else {
@@ -473,9 +545,10 @@ class segment_queue {
     auto *w = reinterpret_cast<seg_select_wait *>(st);
     std::uintptr_t ex = st;
     SSQ_INTERLEAVE("sq.resv.claim");
-    SSQ_CELL_TRANSITION(cell_resv, cell_claimed);
-    if (!c.state.compare_exchange_strong(ex, cell_claimed,
-                                         std::memory_order_seq_cst)) {
+    SSQ_CELL_TRANSITION(cell_resv, cell_claimed, "cell.claim");
+    SSQ_MO_RELEASE_EDGE("cell.claim");
+    SSQ_MO_ACQUIRE_EDGE("cell.publish");
+    if (!c.state.compare_exchange_strong(ex, cell_claimed, SSQ_MO(acq_rel))) {
       // The selector resolved the reservation first (poisoned it).
       contribute(s, 1);
       return cell_outcome::retry;
@@ -489,13 +562,19 @@ class segment_queue {
     if (arb->winner.compare_exchange_strong(expect_w, w,
                                             std::memory_order_seq_cst)) {
       item_token got = e;
-      if (is_data)
-        c.item.store(e, std::memory_order_seq_cst);
-      else
-        got = c.item.load(std::memory_order_seq_cst);
-      SSQ_CELL_TRANSITION(cell_claimed, cell_matched);
-      c.state.store(cell_matched, std::memory_order_seq_cst);
-      live_.value.fetch_sub(1, std::memory_order_seq_cst);
+      if (is_data) {
+        SSQ_MO_JUSTIFIED("relaxed: the cell.commit store below releases it");
+        c.item.store(e, SSQ_MO(relaxed));
+      } else {
+        SSQ_MO_JUSTIFIED("relaxed: the cell.claim CAS above acquired the "
+                         "reservation's deposit");
+        got = c.item.load(SSQ_MO(relaxed));
+      }
+      SSQ_CELL_TRANSITION(cell_claimed, cell_matched, "cell.commit");
+      SSQ_MO_RELEASE_EDGE("cell.commit");
+      c.state.store(cell_matched, SSQ_MO(release));
+      SSQ_MO_JUSTIFIED("relaxed: live_ feeds racy observers only");
+      live_.value.fetch_sub(1, SSQ_MO(relaxed));
       arb->slot.signal();
       arb->pins.fetch_sub(1, std::memory_order_seq_cst);
       contribute(s, 1);
@@ -504,10 +583,12 @@ class segment_queue {
     }
     // The select committed elsewhere: kill the cell and nudge the selector
     // awake so it can re-run its round.
-    SSQ_CELL_TRANSITION(cell_claimed, cell_poisoned);
-    c.state.store(cell_poisoned, std::memory_order_seq_cst);
+    SSQ_CELL_TRANSITION(cell_claimed, cell_poisoned, "cell.commit");
+    SSQ_MO_RELEASE_EDGE("cell.commit");
+    c.state.store(cell_poisoned, SSQ_MO(release));
     diag::bump(diag::id::cell_poison);
-    live_.value.fetch_sub(1, std::memory_order_seq_cst);
+    SSQ_MO_JUSTIFIED("relaxed: live_ feeds racy observers only");
+    live_.value.fetch_sub(1, SSQ_MO(relaxed));
     w->poisoned.store(true, std::memory_order_seq_cst);
     arb->slot.signal();
     arb->pins.fetch_sub(1, std::memory_order_seq_cst);
@@ -521,31 +602,35 @@ class segment_queue {
                            item_token e, bool is_data, deadline dl,
                            sync::interrupt_token *tok, item_token &out) {
     auto done = [&c] {
-      return c.state.load(std::memory_order_seq_cst) != cell_waiter;
+      SSQ_MO_ACQUIRE_EDGE("cell.commit");
+      return c.state.load(SSQ_MO(acquire)) != cell_waiter;
     };
     auto &peer_ctr = is_data ? receivers_ : senders_;
     auto at_front = [&peer_ctr, idx] {
       SSQ_MO_JUSTIFIED(
           "relaxed: spin-depth heuristic only; a stale value merely changes "
           "how long we spin before parking");
-      return peer_ctr.value.load(std::memory_order_relaxed) > idx;
+      return peer_ctr.value.load(SSQ_MO(relaxed)) > idx;
     };
     auto r = sync::spin_then_park(c.slot, done, at_front, pol_, dl, tok);
     if (r != sync::park_slot::wait_result::woken) {
       SSQ_INTERLEAVE("sq.cancel.cas");
       std::uintptr_t ex = cell_waiter;
-      SSQ_CELL_TRANSITION(cell_waiter, cell_poisoned);
+      SSQ_CELL_TRANSITION(cell_waiter, cell_poisoned, "cell.commit");
+      SSQ_MO_RELEASE_EDGE("cell.commit");
       if (c.state.compare_exchange_strong(ex, cell_poisoned,
-                                          std::memory_order_seq_cst)) {
+                                          SSQ_MO(acq_rel))) {
         diag::bump(diag::id::cell_poison);
-        live_.value.fetch_sub(1, std::memory_order_seq_cst);
+        SSQ_MO_JUSTIFIED("relaxed: live_ feeds racy observers only");
+        live_.value.fetch_sub(1, SSQ_MO(relaxed));
         contribute(s, 1);
         out = empty_token;
         return cell_outcome::cancelled;
       }
       // Lost the race to a concurrent finalizer; fall through to read it.
     }
-    std::uintptr_t st = c.state.load(std::memory_order_seq_cst);
+    SSQ_MO_ACQUIRE_EDGE("cell.commit");
+    std::uintptr_t st = c.state.load(SSQ_MO(acquire));
     if (st == cell_poisoned) {
       // Foreign poison (a selector whose select went elsewhere): our claim
       // on a rendezvous is still open, retry at a fresh index.
@@ -553,7 +638,9 @@ class segment_queue {
       return cell_outcome::retry;
     }
     SSQ_ASSERT(st == cell_matched, "waiter woke to a non-final cell state");
-    out = is_data ? e : c.item.load(std::memory_order_seq_cst);
+    SSQ_MO_JUSTIFIED("relaxed: the cell.commit acquire above ordered the "
+                     "partner's item deposit before this read");
+    out = is_data ? e : c.item.load(SSQ_MO(relaxed));
     contribute(s, 1);
     return cell_outcome::transferred;
   }
@@ -562,19 +649,24 @@ class segment_queue {
   seg_reg_status register_cell(seg_segment *s, seg_cell &c, seg_select_wait &w,
                                item_token e, bool is_data, deadline dl,
                                sync::interrupt_token *tok) {
-    std::uintptr_t st = c.state.load(std::memory_order_seq_cst);
+    SSQ_MO_ACQUIRE_EDGE("cell.publish");
+    std::uintptr_t st = c.state.load(SSQ_MO(acquire));
     for (;;) {
       if (st == cell_empty) {
-        if (is_data) c.item.store(e, std::memory_order_seq_cst);
+        if (is_data) {
+          SSQ_MO_JUSTIFIED("relaxed: published by the cell.publish CAS below");
+          c.item.store(e, SSQ_MO(relaxed));
+        }
         w.seg = s;
         w.cl = &c;
         w.is_data = is_data;
         SSQ_INTERLEAVE("sq.resv.install");
-        SSQ_CELL_TRANSITION(cell_empty, cell_resv);
+        SSQ_CELL_TRANSITION(cell_empty, cell_resv, "cell.publish");
+        SSQ_MO_RELEASE_EDGE("cell.publish");
         if (c.state.compare_exchange_strong(
-                st, reinterpret_cast<std::uintptr_t>(&w),
-                std::memory_order_seq_cst)) {
-          live_.value.fetch_add(1, std::memory_order_seq_cst);
+                st, reinterpret_cast<std::uintptr_t>(&w), SSQ_MO(acq_rel))) {
+          SSQ_MO_JUSTIFIED("relaxed: live_ feeds racy observers only");
+          live_.value.fetch_add(1, SSQ_MO(relaxed));
           return seg_reg_status::installed;
         }
         continue;
@@ -605,16 +697,21 @@ class segment_queue {
       return seg_reg_status::lost;
     }
     item_token got = e;
-    if (is_data)
-      c.item.store(e, std::memory_order_seq_cst);
-    else
-      got = c.item.load(std::memory_order_seq_cst);
+    if (is_data) {
+      SSQ_MO_JUSTIFIED("relaxed: the cell.commit CAS below releases it");
+      c.item.store(e, SSQ_MO(relaxed));
+    } else {
+      SSQ_MO_JUSTIFIED("relaxed: ordered by the cell.publish acquire that "
+                       "read WAITER/ASYNC");
+      got = c.item.load(SSQ_MO(relaxed));
+    }
     std::uintptr_t ex = st;
-    SSQ_CELL_TRANSITION(cell_waiter, cell_matched);
-    SSQ_CELL_TRANSITION(cell_async, cell_matched);
-    if (c.state.compare_exchange_strong(ex, cell_matched,
-                                        std::memory_order_seq_cst)) {
-      live_.value.fetch_sub(1, std::memory_order_seq_cst);
+    SSQ_CELL_TRANSITION(cell_waiter, cell_matched, "cell.commit");
+    SSQ_CELL_TRANSITION(cell_async, cell_matched, "cell.commit");
+    SSQ_MO_RELEASE_EDGE("cell.commit");
+    if (c.state.compare_exchange_strong(ex, cell_matched, SSQ_MO(acq_rel))) {
+      SSQ_MO_JUSTIFIED("relaxed: live_ feeds racy observers only");
+      live_.value.fetch_sub(1, SSQ_MO(relaxed));
       if (st == cell_async) {
         contribute(s, 2);
       } else {
@@ -640,12 +737,16 @@ class segment_queue {
       // An async producer's token cannot be dropped: take the cell over
       // and hand the token back to the queue under a fresh index
       // (FIFO-relaxed for that token; docs/algorithms.md).
-      item_token got = c.item.load(std::memory_order_seq_cst);
+      SSQ_MO_JUSTIFIED("relaxed: ordered by the caller's cell.publish "
+                       "acquire that read ASYNC");
+      item_token got = c.item.load(SSQ_MO(relaxed));
       std::uintptr_t ex = st;
-      SSQ_CELL_TRANSITION(cell_async, cell_matched);
+      SSQ_CELL_TRANSITION(cell_async, cell_matched, "cell.commit");
+      SSQ_MO_RELEASE_EDGE("cell.commit");
       if (c.state.compare_exchange_strong(ex, cell_matched,
-                                          std::memory_order_seq_cst)) {
-        live_.value.fetch_sub(1, std::memory_order_seq_cst);
+                                          SSQ_MO(acq_rel))) {
+        SSQ_MO_JUSTIFIED("relaxed: live_ feeds racy observers only");
+        live_.value.fetch_sub(1, SSQ_MO(relaxed));
         contribute(s, 2);
         xfer(got, true, wait_kind::async);
       } else {
@@ -654,11 +755,12 @@ class segment_queue {
       return;
     }
     std::uintptr_t ex = st;
-    SSQ_CELL_TRANSITION(cell_waiter, cell_poisoned);
-    if (c.state.compare_exchange_strong(ex, cell_poisoned,
-                                        std::memory_order_seq_cst)) {
+    SSQ_CELL_TRANSITION(cell_waiter, cell_poisoned, "cell.commit");
+    SSQ_MO_RELEASE_EDGE("cell.commit");
+    if (c.state.compare_exchange_strong(ex, cell_poisoned, SSQ_MO(acq_rel))) {
       diag::bump(diag::id::cell_poison);
-      live_.value.fetch_sub(1, std::memory_order_seq_cst);
+      SSQ_MO_JUSTIFIED("relaxed: live_ feeds racy observers only");
+      live_.value.fetch_sub(1, SSQ_MO(relaxed));
       c.slot.signal(); // the waiter re-checks state and retries elsewhere
     }
     contribute(s, 1);
@@ -673,9 +775,10 @@ class segment_queue {
                                        sync::interrupt_token *tok) {
     auto *peer = reinterpret_cast<seg_select_wait *>(st);
     std::uintptr_t ex = st;
-    SSQ_CELL_TRANSITION(cell_resv, cell_claimed);
-    if (!c.state.compare_exchange_strong(ex, cell_claimed,
-                                         std::memory_order_seq_cst)) {
+    SSQ_CELL_TRANSITION(cell_resv, cell_claimed, "cell.claim");
+    SSQ_MO_RELEASE_EDGE("cell.claim");
+    SSQ_MO_ACQUIRE_EDGE("cell.publish");
+    if (!c.state.compare_exchange_strong(ex, cell_claimed, SSQ_MO(acq_rel))) {
       contribute(s, 1); // peer resolved it first (poisoned)
       return seg_reg_status::retry;
     }
@@ -693,13 +796,19 @@ class segment_queue {
     if (parb->winner.compare_exchange_strong(peer_expect, peer,
                                              std::memory_order_seq_cst)) {
       item_token got = e;
-      if (is_data)
-        c.item.store(e, std::memory_order_seq_cst);
-      else
-        got = c.item.load(std::memory_order_seq_cst);
-      SSQ_CELL_TRANSITION(cell_claimed, cell_matched);
-      c.state.store(cell_matched, std::memory_order_seq_cst);
-      live_.value.fetch_sub(1, std::memory_order_seq_cst);
+      if (is_data) {
+        SSQ_MO_JUSTIFIED("relaxed: the cell.commit store below releases it");
+        c.item.store(e, SSQ_MO(relaxed));
+      } else {
+        SSQ_MO_JUSTIFIED("relaxed: the cell.claim CAS above acquired the "
+                         "reservation's deposit");
+        got = c.item.load(SSQ_MO(relaxed));
+      }
+      SSQ_CELL_TRANSITION(cell_claimed, cell_matched, "cell.commit");
+      SSQ_MO_RELEASE_EDGE("cell.commit");
+      c.state.store(cell_matched, SSQ_MO(release));
+      SSQ_MO_JUSTIFIED("relaxed: live_ feeds racy observers only");
+      live_.value.fetch_sub(1, SSQ_MO(relaxed));
       parb->slot.signal();
       parb->pins.fetch_sub(1, std::memory_order_seq_cst);
       contribute(s, 1);
@@ -717,10 +826,12 @@ class segment_queue {
 
   void poison_claimed_peer(seg_segment *s, seg_cell &c, seg_select_wait *peer,
                            seg_select_arbiter *parb) {
-    SSQ_CELL_TRANSITION(cell_claimed, cell_poisoned);
-    c.state.store(cell_poisoned, std::memory_order_seq_cst);
+    SSQ_CELL_TRANSITION(cell_claimed, cell_poisoned, "cell.commit");
+    SSQ_MO_RELEASE_EDGE("cell.commit");
+    c.state.store(cell_poisoned, SSQ_MO(release));
     diag::bump(diag::id::cell_poison);
-    live_.value.fetch_sub(1, std::memory_order_seq_cst);
+    SSQ_MO_JUSTIFIED("relaxed: live_ feeds racy observers only");
+    live_.value.fetch_sub(1, SSQ_MO(relaxed));
     peer->poisoned.store(true, std::memory_order_seq_cst);
     parb->slot.signal();
     parb->pins.fetch_sub(1, std::memory_order_seq_cst);

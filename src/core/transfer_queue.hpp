@@ -32,6 +32,15 @@
 //     after a fulfiller unlinks it;
 //   * the clean_me pointer is registered as an external hazard root, so a
 //     node it references can never be freed out from under a cleaner.
+//
+// Memory-order discipline (docs/memory_model.md): the head/tail/next/item
+// CASes are the algorithm's linearization points and stay seq_cst -- the
+// oracle's FIFO-pairing proof quantifies over one total order of them.
+// What relaxes are the item-word *reads* on the waiter side, paired as the
+// labeled edge `qnode.item` (release: the fulfill/cancel cas_item; acquire:
+// is_cancelled, the wait loop's done probe, and the final read), plus the
+// already-annotated acquire snapshot loads. Every weakened order is spelled
+// SSQ_MO(...) so -DSSQ_FORCE_SEQ_CST pins the file for differential runs.
 #pragma once
 
 #include <atomic>
@@ -123,7 +132,7 @@ class transfer_queue {
         SSQ_MO_JUSTIFIED(
             "acquire: the seq_cst tail re-check on the next line is the "
             "snapshot validation; this read only needs the node contents");
-        qnode *n = t->next.load(std::memory_order_acquire);
+        qnode *n = t->next.load(SSQ_MO(acquire));
         if (t != tail_.value.load(std::memory_order_seq_cst)) continue;
         if (n != nullptr) { // tail lagging (or t dying): help
           advance_tail(t, strip(n));
@@ -164,7 +173,7 @@ class transfer_queue {
         SSQ_MO_JUSTIFIED(
             "acquire: initial snapshot; the seq_cst head/next re-reads below "
             "validate it before any dereference of m");
-        qnode *mr = h->next.load(std::memory_order_acquire);
+        qnode *mr = h->next.load(SSQ_MO(acquire));
         qnode *m = strip(mr);
         hz_m.set(m);
         // Validate the snapshot: head unmoved and successor word unchanged
@@ -200,9 +209,9 @@ class transfer_queue {
   bool is_empty() const noexcept {
     // Racy observer (tests/examples): true when only the dummy remains.
     SSQ_MO_JUSTIFIED("acquire: racy snapshot, documented approximate");
-    qnode *h = head_.value.load(std::memory_order_acquire);
+    qnode *h = head_.value.load(SSQ_MO(acquire));
     SSQ_MO_JUSTIFIED("acquire: racy snapshot, documented approximate");
-    return strip(h->next.load(std::memory_order_acquire)) == nullptr;
+    return strip(h->next.load(SSQ_MO(acquire))) == nullptr;
   }
 
   // Number of linked nodes (excluding the dummy), counting cancelled ones:
@@ -213,10 +222,10 @@ class transfer_queue {
   std::size_t unsafe_length() const noexcept {
     std::size_t n = 0;
     SSQ_MO_JUSTIFIED("acquire: racy traversal, documented unsafe");
-    qnode *p = head_.value.load(std::memory_order_acquire);
+    qnode *p = head_.value.load(SSQ_MO(acquire));
     SSQ_MO_JUSTIFIED("acquire: racy traversal, documented unsafe");
-    for (p = strip(p->next.load(std::memory_order_acquire)); p;
-         p = strip(p->next.load(std::memory_order_acquire)))
+    for (p = strip(p->next.load(SSQ_MO(acquire))); p;
+         p = strip(p->next.load(SSQ_MO(acquire))))
       ++n;
     return n;
   }
@@ -226,9 +235,9 @@ class transfer_queue {
   // immutable is_data field.
   bool head_is_data() const noexcept {
     SSQ_MO_JUSTIFIED("acquire: racy snapshot probe");
-    qnode *h = head_.value.load(std::memory_order_acquire);
+    qnode *h = head_.value.load(SSQ_MO(acquire));
     SSQ_MO_JUSTIFIED("acquire: racy snapshot probe");
-    qnode *n = strip(h->next.load(std::memory_order_acquire));
+    qnode *n = strip(h->next.load(SSQ_MO(acquire)));
     return n && n->is_data;
   }
 
@@ -240,18 +249,18 @@ class transfer_queue {
   // invoked from tests while the structure is quiescent.
   void debug_dump(FILE *f) const {
     SSQ_MO_JUSTIFIED("acquire: debug-only racy traversal");
-    qnode *p = head_.value.load(std::memory_order_acquire);
+    qnode *p = head_.value.load(SSQ_MO(acquire));
     SSQ_MO_JUSTIFIED("acquire: debug-only racy traversal");
     std::fprintf(f, "  tq head=%p tail=%p clean_me=%p\n",
                  static_cast<void *>(p),
-                 static_cast<void *>(tail_.value.load(std::memory_order_acquire)),
-                 clean_me_.value.load(std::memory_order_acquire));
+                 static_cast<void *>(tail_.value.load(SSQ_MO(acquire))),
+                 clean_me_.value.load(SSQ_MO(acquire)));
     int i = 0;
     for (; p && i < 32; ++i) {
       SSQ_MO_JUSTIFIED("acquire: debug-only racy traversal");
-      qnode *raw = p->next.load(std::memory_order_acquire);
+      qnode *raw = p->next.load(SSQ_MO(acquire));
       SSQ_MO_JUSTIFIED("acquire: debug-only racy traversal");
-      item_token it = p->item.load(std::memory_order_acquire);
+      item_token it = p->item.load(SSQ_MO(acquire));
       const char *cls = it == empty_token                ? "empty"
                         : it == p->self_token()          ? "CANCELLED"
                                                          : "value";
@@ -303,12 +312,15 @@ class transfer_queue {
       return reinterpret_cast<item_token>(this);
     }
     bool is_cancelled() const noexcept {
-      SSQ_MO_JUSTIFIED(
-          "acquire: pairs with the seq_cst cancel CAS; a reader that sees "
-          "the self-token also sees the owner's prior writes");
-      return item.load(std::memory_order_acquire) == self_token();
+      SSQ_MO_ACQUIRE_EDGE("qnode.item");
+      return item.load(SSQ_MO(acquire)) == self_token();
     }
     bool cas_item(item_token expected, item_token desired) noexcept {
+      // seq_cst: the item-word CAS is the fulfill/cancel linearization
+      // point (paper §3.3) and must stay in the single total order the
+      // oracle's FIFO-pairing proof quantifies over. The label documents
+      // the release side of the qnode.item edge its acquire ends pair with.
+      SSQ_MO_RELEASE_EDGE("qnode.item");
       return item.compare_exchange_strong(expected, desired,
                                           std::memory_order_seq_cst);
     }
@@ -339,13 +351,14 @@ class transfer_queue {
   item_token await_fulfill(qnode *s, item_token e, deadline dl,
                            sync::interrupt_token *tok) {
     auto done = [&] {
-      return s->item.load(std::memory_order_seq_cst) != e;
+      SSQ_MO_ACQUIRE_EDGE("qnode.item");
+      return s->item.load(SSQ_MO(acquire)) != e;
     };
     auto at_front = [&] {
       typename Reclaimer::slot hz(rec_);
       qnode *h = hz.protect(head_.value);
       SSQ_MO_JUSTIFIED("acquire: comparison-only spin heuristic read");
-      return strip(h->next.load(std::memory_order_acquire)) == s;
+      return strip(h->next.load(SSQ_MO(acquire))) == s;
     };
     auto r = sync::spin_then_park(s->slot, done, at_front, pol_, dl, tok);
     if (r != sync::park_slot::wait_result::woken) {
@@ -354,7 +367,8 @@ class transfer_queue {
       SSQ_INTERLEAVE("tq.cancel.cas");
       s->cas_item(e, s->self_token());
     }
-    return s->item.load(std::memory_order_seq_cst);
+    SSQ_MO_ACQUIRE_EDGE("qnode.item");
+    return s->item.load(SSQ_MO(acquire));
   }
 
   void advance_tail(qnode *t, qnode *nt) noexcept {
@@ -388,7 +402,7 @@ class transfer_queue {
     SSQ_MO_JUSTIFIED(
         "acquire: hygiene-only read; staleness is safe because the "
         "external-root scan pins whatever clean_me_ holds");
-    void *cm = clean_me_.value.load(std::memory_order_acquire);
+    void *cm = clean_me_.value.load(SSQ_MO(acquire));
     if (cm == static_cast<void *>(n))
       clean_me_.value.compare_exchange_strong(cm, nullptr,
                                               std::memory_order_seq_cst);
@@ -431,7 +445,7 @@ class transfer_queue {
       SSQ_MO_JUSTIFIED(
           "acquire: snapshot; the seq_cst head/next re-reads below validate "
           "it before hn is trusted");
-      qnode *hnr = h->next.load(std::memory_order_acquire);
+      qnode *hnr = h->next.load(SSQ_MO(acquire));
       qnode *hn = strip(hnr);
       hz_x.set(hn);
       // Revalidation: while h is still the head, its successor word being
@@ -451,7 +465,7 @@ class transfer_queue {
       SSQ_MO_JUSTIFIED(
           "acquire: the seq_cst tail re-check on the next line validates "
           "the snapshot; tn itself is never dereferenced");
-      qnode *tn = t->next.load(std::memory_order_acquire);
+      qnode *tn = t->next.load(SSQ_MO(acquire));
       if (t != tail_.value.load(std::memory_order_seq_cst)) continue;
       if (tn != nullptr) {
         advance_tail(t, strip(tn));
@@ -484,7 +498,7 @@ class transfer_queue {
         SSQ_MO_JUSTIFIED(
             "acquire: snapshot; the seq_cst dp->next re-read below "
             "validates it before d is trusted");
-        qnode *dr = dp->next.load(std::memory_order_acquire);
+        qnode *dr = dp->next.load(SSQ_MO(acquire));
         qnode *d = strip(dr);
         hz_e.set(d);
         bool resolved = false;
@@ -521,7 +535,7 @@ class transfer_queue {
       SSQ_MO_JUSTIFIED(
           "acquire: snapshot; the seq_cst head/next re-reads below validate "
           "it before hn is trusted");
-      qnode *hnr = h->next.load(std::memory_order_acquire);
+      qnode *hnr = h->next.load(SSQ_MO(acquire));
       qnode *hn = strip(hnr);
       hz_x.set(hn);
       // Same validation argument as in clean_inner above.
@@ -543,7 +557,7 @@ class transfer_queue {
       SSQ_MO_JUSTIFIED(
           "acquire: first half of the publish-and-revalidate protect loop; "
           "the seq_cst re-read below is the ordering anchor");
-      void *p = clean_me_.value.load(std::memory_order_acquire);
+      void *p = clean_me_.value.load(SSQ_MO(acquire));
       hz.set(static_cast<qnode *>(p));
       if (clean_me_.value.load(std::memory_order_seq_cst) == p)
         return static_cast<qnode *>(p);

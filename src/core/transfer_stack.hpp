@@ -37,6 +37,17 @@
 //     succeed through a predecessor that has begun dying. Head pops freeze
 //     the victim(s) before the head CAS for the same reason, which also
 //     pins the post-pop successor value the CAS installs.
+//
+// Memory-order discipline (docs/memory_model.md): the head/next/xword
+// CASes, the helping protocol's reads in the fulfillment loop, and the
+// freeze/pop validation reads stay seq_cst -- the annihilation argument
+// ("a frozen fulfilling node always implies its xword is set") and the
+// oracle's pairing proof lean on one total order over them. The waiter
+// side relaxes as the labeled edge `snode.xword` (release: the match CAS
+// and the report store in try_match; acquire: is_cancelled, the wait
+// loop's done probe, and the final read), plus the annotated acquire
+// snapshot loads. Weakened orders are spelled SSQ_MO(...) so
+// -DSSQ_FORCE_SEQ_CST pins the file for differential runs.
 #pragma once
 
 #include <atomic>
@@ -120,7 +131,7 @@ class transfer_stack {
         SSQ_MO_JUSTIFIED(
             "relaxed: pre-publication store; the seq_cst head CAS below "
             "releases the node");
-        s->next.store(h, std::memory_order_relaxed);
+        s->next.store(h, SSQ_MO(relaxed));
         SSQ_INTERLEAVE("ts.push");
         if (!head_.value.compare_exchange_strong(h, s,
                                                  std::memory_order_seq_cst)) {
@@ -155,7 +166,7 @@ class transfer_stack {
         SSQ_MO_JUSTIFIED(
             "relaxed: pre-publication store; the seq_cst head CAS below "
             "releases the node");
-        s->next.store(h, std::memory_order_relaxed);
+        s->next.store(h, SSQ_MO(relaxed));
         SSQ_INTERLEAVE("ts.fulfill.push");
         if (!head_.value.compare_exchange_strong(h, s,
                                                  std::memory_order_seq_cst)) {
@@ -228,7 +239,7 @@ class transfer_stack {
 
   bool is_empty() const noexcept {
     SSQ_MO_JUSTIFIED("acquire: racy snapshot, no dereference follows");
-    return head_.value.load(std::memory_order_acquire) == nullptr;
+    return head_.value.load(SSQ_MO(acquire)) == nullptr;
   }
 
   // ssq-lint: suppress(hazard-coverage) -- racy observer by contract (the
@@ -236,8 +247,8 @@ class transfer_stack {
   std::size_t unsafe_length() const noexcept {
     std::size_t n = 0;
     SSQ_MO_JUSTIFIED("acquire: racy traversal, documented unsafe");
-    for (snode *p = head_.value.load(std::memory_order_acquire); p;
-         p = strip(p->next.load(std::memory_order_acquire)))
+    for (snode *p = head_.value.load(SSQ_MO(acquire)); p;
+         p = strip(p->next.load(SSQ_MO(acquire))))
       ++n;
     return n;
   }
@@ -246,7 +257,7 @@ class transfer_stack {
   // node's immutable mode field; used by tests only.
   bool head_is_data() const noexcept {
     SSQ_MO_JUSTIFIED("acquire: racy snapshot probe");
-    snode *h = head_.value.load(std::memory_order_acquire);
+    snode *h = head_.value.load(SSQ_MO(acquire));
     return h && (h->mode & data_mode);
   }
 
@@ -257,14 +268,14 @@ class transfer_stack {
   // invoked from tests while the structure is quiescent.
   void debug_dump(FILE *f) const {
     SSQ_MO_JUSTIFIED("acquire: debug-only racy traversal");
-    snode *p = head_.value.load(std::memory_order_acquire);
+    snode *p = head_.value.load(SSQ_MO(acquire));
     std::fprintf(f, "  ts head=%p\n", static_cast<void *>(p));
     int i = 0;
     for (; p && i < 32; ++i) {
       SSQ_MO_JUSTIFIED("acquire: debug-only racy traversal");
-      snode *raw = p->next.load(std::memory_order_acquire);
+      snode *raw = p->next.load(SSQ_MO(acquire));
       SSQ_MO_JUSTIFIED("acquire: debug-only racy traversal");
-      item_token xw = p->xword.load(std::memory_order_acquire);
+      item_token xw = p->xword.load(SSQ_MO(acquire));
       const char *cls = xw == empty_token       ? "waiting"
                         : xw == p->self_token() ? "CANCELLED"
                                                 : "matched";
@@ -304,10 +315,8 @@ class transfer_stack {
       return reinterpret_cast<item_token>(this);
     }
     bool is_cancelled() const noexcept {
-      SSQ_MO_JUSTIFIED(
-          "acquire: pairs with the seq_cst cancel CAS; a reader that sees "
-          "the self-token also sees the owner's prior writes");
-      return xword.load(std::memory_order_acquire) == self_token();
+      SSQ_MO_ACQUIRE_EDGE("snode.xword");
+      return xword.load(SSQ_MO(acquire)) == self_token();
     }
     bool cas_next(snode *expected, snode *desired) noexcept {
       return next.compare_exchange_strong(expected, desired,
@@ -382,12 +391,16 @@ class transfer_stack {
                                 ? reinterpret_cast<item_token>(m)
                                 : m->item;
     item_token expected = empty_token;
+    // seq_cst: the xword CAS is the match linearization point; the label
+    // documents the release side of the snode.xword edge.
+    SSQ_MO_RELEASE_EDGE("snode.xword");
     if (m->xword.compare_exchange_strong(expected, v,
                                          std::memory_order_seq_cst)) {
       // Unique winner: report the counterpart into the fulfilling node,
       // then wake the waiter. (Order matters: xword before any pop, so a
       // frozen fulfilling node always implies its xword is set.)
       SSQ_INTERLEAVE("ts.match.mid");
+      SSQ_MO_RELEASE_EDGE("snode.xword");
       s->xword.store(back, std::memory_order_seq_cst);
       m->slot.signal();
       return true;
@@ -463,7 +476,7 @@ class transfer_stack {
     SSQ_MO_JUSTIFIED(
         "acquire: comparison-only read; the decisive ordering comes from "
         "try_match/pop_pair's seq_cst operations");
-    if (strip(h->next.load(std::memory_order_acquire)) != s) return;
+    if (strip(h->next.load(SSQ_MO(acquire))) != s) return;
     // Route through try_match rather than popping directly: it verifies h
     // really is the fulfiller we matched with, and completes h's xword if
     // the matching thread is still between its two stores -- popping first
@@ -503,7 +516,8 @@ class transfer_stack {
   item_token await_fulfill(snode *s, deadline dl,
                            sync::interrupt_token *tok) {
     auto done = [&] {
-      return s->xword.load(std::memory_order_seq_cst) != empty_token;
+      SSQ_MO_ACQUIRE_EDGE("snode.xword");
+      return s->xword.load(SSQ_MO(acquire)) != empty_token;
     };
     auto at_front = [&] {
       // Spin the long count when we are on top or covered by a fulfiller.
@@ -518,7 +532,8 @@ class transfer_stack {
       s->xword.compare_exchange_strong(expected, s->self_token(),
                                        std::memory_order_seq_cst);
     }
-    return s->xword.load(std::memory_order_seq_cst);
+    SSQ_MO_ACQUIRE_EDGE("snode.xword");
+    return s->xword.load(SSQ_MO(acquire));
   }
 
   // Unlink cancelled nodes at and around s (JDK SNode::clean, minus the
@@ -530,7 +545,7 @@ class transfer_stack {
     typename Reclaimer::slot hz_p(rec_), hz_q(rec_);
 
     SSQ_MO_JUSTIFIED("acquire: value used for pointer comparison only");
-    snode *past = strip(s->next.load(std::memory_order_acquire)); // cmp-only
+    snode *past = strip(s->next.load(SSQ_MO(acquire))); // cmp-only
 
     // Absorb cancelled prefix.
     snode *p;

@@ -14,6 +14,16 @@ void table::add_row(std::vector<std::string> cells) {
   rows_.push_back(std::move(cells));
 }
 
+void table::set_meta(const std::string &key, const std::string &value) {
+  for (auto &kv : meta_) {
+    if (kv.first == key) {
+      kv.second = value;
+      return;
+    }
+  }
+  meta_.emplace_back(key, value);
+}
+
 std::string table::fmt(double v, int precision) {
   char buf[64];
   std::snprintf(buf, sizeof buf, "%.*f", precision, v);
@@ -78,7 +88,18 @@ void json_string(FILE *f, const std::string &s) {
 bool table::write_json(const std::string &path) const {
   FILE *f = std::fopen(path.c_str(), "w");
   if (!f) return false;
-  std::fprintf(f, "{\n  \"columns\": [");
+  std::fprintf(f, "{\n");
+  if (!meta_.empty()) {
+    std::fprintf(f, "  \"meta\": {");
+    for (std::size_t i = 0; i < meta_.size(); ++i) {
+      if (i) std::fprintf(f, ", ");
+      json_string(f, meta_[i].first);
+      std::fprintf(f, ": ");
+      json_string(f, meta_[i].second);
+    }
+    std::fprintf(f, "},\n");
+  }
+  std::fprintf(f, "  \"columns\": [");
   for (std::size_t c = 0; c < cols_.size(); ++c) {
     if (c) std::fprintf(f, ", ");
     json_string(f, cols_[c]);

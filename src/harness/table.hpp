@@ -4,6 +4,7 @@
 #pragma once
 
 #include <string>
+#include <utility>
 #include <vector>
 
 namespace ssq::harness {
@@ -14,15 +15,21 @@ class table {
 
   void add_row(std::vector<std::string> cells);
 
+  // Provenance attached to the JSON header (build mode, git revision, ...).
+  // Insertion-ordered; setting an existing key overwrites its value.
+  void set_meta(const std::string &key, const std::string &value);
+
   // Aligned plain-text rendering.
   void print() const;
 
   // RFC-4180-ish CSV; returns false on I/O failure.
   bool write_csv(const std::string &path) const;
 
-  // JSON object {"columns": [...], "rows": [{col: cell, ...}, ...]}; cells
-  // that parse as plain numbers are emitted unquoted so downstream tooling
-  // reads the series without coercion. Returns false on I/O failure.
+  // JSON object {"meta": {...}, "columns": [...], "rows": [{col: cell, ...},
+  // ...]} ("meta" omitted when empty; scripts/bench_compare.py keys on it to
+  // refuse apples-to-oranges comparisons). Cells that parse as plain numbers
+  // are emitted unquoted so downstream tooling reads the series without
+  // coercion. Returns false on I/O failure.
   bool write_json(const std::string &path) const;
 
   static std::string fmt(double v, int precision = 1);
@@ -30,6 +37,7 @@ class table {
  private:
   std::vector<std::string> cols_;
   std::vector<std::vector<std::string>> rows_;
+  std::vector<std::pair<std::string, std::string>> meta_;
 };
 
 } // namespace ssq::harness

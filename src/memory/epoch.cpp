@@ -3,6 +3,7 @@
 #include <mutex>
 #include <unordered_map>
 
+#include "support/annotations.hpp"
 #include "support/config.hpp"
 #include "support/diagnostics.hpp"
 
@@ -22,6 +23,7 @@ e_registry &ereg() {
 
 std::uint64_t next_edomain_uid() {
   static std::atomic<std::uint64_t> seq{1};
+  SSQ_MO_JUSTIFIED("relaxed: uid counter, only uniqueness matters");
   return seq.fetch_add(1, std::memory_order_relaxed);
 }
 
@@ -75,6 +77,7 @@ epoch_domain::tl_cache &ecache() {
 
 epoch_domain::epoch_domain()
     : uid_(next_edomain_uid()), orphans_(new orphan_list) {
+  SSQ_MO_JUSTIFIED("relaxed: construction-time store, no sharing yet");
   epoch_.value.store(2, std::memory_order_relaxed);
   std::lock_guard<std::mutex> lk(ereg().mu);
   ereg().live.emplace(this, uid_);
@@ -108,8 +111,13 @@ epoch_domain &epoch_domain::global() noexcept {
 epoch_domain::record *epoch_domain::acquire_record() {
   tl_cache &c = ecache();
   if (record *r = c.find(this)) return r;
+  SSQ_MO_JUSTIFIED("acquire: list traversal; a record's next is immutable "
+                   "once the publishing acq_rel CAS links it");
   for (record *r = head_.load(std::memory_order_acquire); r; r = r->next) {
     bool expected = false;
+    SSQ_MO_JUSTIFIED("relaxed pre-screen; the acq_rel CAS in the same "
+                     "condition decides and synchronizes with "
+                     "release_record");
     if (!r->active.load(std::memory_order_relaxed) &&
         r->active.compare_exchange_strong(expected, true,
                                           std::memory_order_acq_rel)) {
@@ -118,8 +126,13 @@ epoch_domain::record *epoch_domain::acquire_record() {
     }
   }
   auto *r = new record;
+  SSQ_MO_JUSTIFIED("relaxed: record is thread-private until the head CAS "
+                   "below publishes it");
   r->active.store(true, std::memory_order_relaxed);
+  SSQ_MO_JUSTIFIED("acquire: first guess for the publishing CAS loop");
   record *h = head_.load(std::memory_order_acquire);
+  SSQ_MO_JUSTIFIED("acq_rel: the CAS publishes the initialized record; "
+                   "acquire on failure refreshes the head snapshot");
   do {
     r->next = h;
   } while (!head_.compare_exchange_weak(h, r, std::memory_order_acq_rel,
@@ -143,14 +156,20 @@ void epoch_domain::release_record(record *rec) {
     orphans_->nodes.insert(orphans_->nodes.end(), leftovers.begin(),
                            leftovers.end());
   }
+  SSQ_MO_JUSTIFIED("release: unpin is visible before the active flag drops");
   rec->state.store(0, std::memory_order_release);
+  SSQ_MO_JUSTIFIED("release: publishes the drained limbo lists to the "
+                   "adopter's acq_rel CAS");
   rec->active.store(false, std::memory_order_release);
 }
 
 epoch_domain::guard::guard(epoch_domain &d) noexcept
     : dom_(d), rec_(d.acquire_record()) {
+  SSQ_MO_JUSTIFIED("relaxed: owner-thread read of its own pin state");
   SSQ_ASSERT((rec_->state.load(std::memory_order_relaxed) & pin_bit) == 0,
              "epoch guards must not nest within one thread");
+  SSQ_MO_JUSTIFIED("acquire: first guess; the seq_cst publish and re-read "
+                   "below anchor the pin");
   std::uint64_t e = dom_.epoch_.value.load(std::memory_order_acquire);
   rec_->state.store((e << 1) | pin_bit, std::memory_order_seq_cst);
   // Re-read: if the epoch moved between load and publish we would otherwise
@@ -166,14 +185,18 @@ epoch_domain::guard::~guard() noexcept {
 
 void epoch_domain::retire(void *ptr, void (*deleter)(void *)) {
   record *rec = acquire_record();
+  SSQ_MO_JUSTIFIED("relaxed: owner-thread read of its own pin state");
   SSQ_ASSERT(rec->state.load(std::memory_order_relaxed) & pin_bit,
              "epoch_domain::retire called while not pinned");
+  SSQ_MO_JUSTIFIED("acquire: bucket tagging only; the caller is pinned, so "
+                   "the epoch can advance at most once past this value");
   std::uint64_t e = epoch_.value.load(std::memory_order_acquire);
   auto b = static_cast<std::size_t>(e % 3);
   if (rec->limbo_epoch[b] != e) {
     // Bucket contents are from epoch e-3 or older: at least two full
     // advances have passed, safe to free.
     for (auto &rn : rec->limbo[b]) rn.deleter(rn.ptr);
+    SSQ_MO_JUSTIFIED("relaxed: monitoring counter, documented approximate");
     retired_estimate_.fetch_sub(rec->limbo[b].size(),
                                 std::memory_order_relaxed);
     rec->limbo[b].clear();
@@ -181,12 +204,15 @@ void epoch_domain::retire(void *ptr, void (*deleter)(void *)) {
   }
   rec->limbo[b].push_back({ptr, deleter});
   diag::bump(diag::id::node_retire);
+  SSQ_MO_JUSTIFIED("relaxed: monitoring counter, documented approximate");
   retired_estimate_.fetch_add(1, std::memory_order_relaxed);
   if (++rec->op_count % collect_period == 0) collect();
 }
 
 bool epoch_domain::try_advance() {
   std::uint64_t e = epoch_.value.load(std::memory_order_seq_cst);
+  SSQ_MO_JUSTIFIED("acquire: list traversal; the seq_cst state loads "
+                   "inside are the ordering anchor of the advance check");
   for (record *r = head_.load(std::memory_order_acquire); r; r = r->next) {
     std::uint64_t s = r->state.load(std::memory_order_seq_cst);
     if ((s & pin_bit) && (s >> 1) != e) return false; // straggler
@@ -196,6 +222,8 @@ bool epoch_domain::try_advance() {
 }
 
 std::size_t epoch_domain::flush(record *rec) {
+  SSQ_MO_JUSTIFIED("acquire: synchronizes with the advance CAS; a stale "
+                   "epoch only delays freeing, never frees early");
   std::uint64_t e = epoch_.value.load(std::memory_order_acquire);
   std::size_t freed = 0;
   for (std::size_t b = 0; b < 3; ++b) {
@@ -205,6 +233,7 @@ std::size_t epoch_domain::flush(record *rec) {
       rec->limbo[b].clear();
     }
   }
+  SSQ_MO_JUSTIFIED("relaxed: monitoring counter, documented approximate");
   retired_estimate_.fetch_sub(freed, std::memory_order_relaxed);
   if (freed) diag::bump(diag::id::epoch_flush);
   return freed;
@@ -227,6 +256,8 @@ std::size_t epoch_domain::collect() {
     if (!adopted.empty()) {
       if (try_advance() && try_advance()) {
         for (auto &rn : adopted) rn.deleter(rn.ptr);
+        SSQ_MO_JUSTIFIED("relaxed: monitoring counter, documented "
+                         "approximate");
         retired_estimate_.fetch_sub(adopted.size(),
                                     std::memory_order_relaxed);
         freed += adopted.size();

@@ -14,6 +14,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "support/annotations.hpp"
 #include "support/cacheline.hpp"
 
 namespace ssq::mem {
@@ -75,10 +76,13 @@ class epoch_domain {
   std::size_t drain();
 
   std::uint64_t global_epoch() const noexcept {
+    SSQ_MO_JUSTIFIED("acquire: test/monitoring observer; pairs with the "
+                     "seq_cst advance CAS, staleness benign");
     return epoch_.value.load(std::memory_order_acquire);
   }
 
   std::size_t approx_retired() const noexcept {
+    SSQ_MO_JUSTIFIED("relaxed: monitoring counter, documented approximate");
     return retired_estimate_.load(std::memory_order_relaxed);
   }
 

@@ -4,6 +4,7 @@
 #include <mutex>
 #include <unordered_map>
 
+#include "support/annotations.hpp"
 #include "support/diagnostics.hpp"
 
 namespace ssq::mem {
@@ -35,6 +36,7 @@ domain_registry &registry() {
 
 std::uint64_t next_domain_uid() {
   static std::atomic<std::uint64_t> seq{1};
+  SSQ_MO_JUSTIFIED("relaxed: uid counter, only uniqueness matters");
   return seq.fetch_add(1, std::memory_order_relaxed);
 }
 
@@ -156,9 +158,15 @@ hazard_domain::record *hazard_domain::acquire_record() {
   if (record *r = c.find(this)) return r;
 
   // Try to adopt an inactive record before allocating.
+  SSQ_MO_JUSTIFIED("acquire: list traversal; a record's next is immutable "
+                   "once the publishing acq_rel CAS links it");
   for (record *r = head_.load(std::memory_order_acquire); r; r = r->next) {
     bool expected = false;
+    SSQ_MO_JUSTIFIED("relaxed: cheap pre-screen; the acq_rel CAS below is "
+                     "the deciding operation");
     if (!r->active.load(std::memory_order_relaxed)) {
+      SSQ_MO_JUSTIFIED("acq_rel: adopting synchronizes with the releasing "
+                       "thread's slot clears in release_record");
       if (r->active.compare_exchange_strong(expected, true,
                                             std::memory_order_acq_rel)) {
         c.entries.push_back({this, uid_, r});
@@ -168,14 +176,24 @@ hazard_domain::record *hazard_domain::acquire_record() {
   }
 
   auto *r = new record;
-  for (auto &s : r->slots) s.store(nullptr, std::memory_order_relaxed);
+  for (auto &s : r->slots) {
+    SSQ_MO_JUSTIFIED("relaxed: record is thread-private until the head CAS "
+                     "below publishes it");
+    s.store(nullptr, std::memory_order_relaxed);
+  }
+  SSQ_MO_JUSTIFIED("relaxed: record is thread-private until the head CAS "
+                   "below publishes it");
   r->active.store(true, std::memory_order_relaxed);
   // Lock-free push onto the record list.
+  SSQ_MO_JUSTIFIED("acquire: first guess for the publishing CAS loop");
   record *h = head_.load(std::memory_order_acquire);
+  SSQ_MO_JUSTIFIED("acq_rel: the CAS publishes the initialized record; "
+                   "acquire on failure refreshes the head snapshot");
   do {
     r->next = h;
   } while (!head_.compare_exchange_weak(h, r, std::memory_order_acq_rel,
                                         std::memory_order_acquire));
+  SSQ_MO_JUSTIFIED("relaxed: scan-threshold heuristic counter");
   nrecords_.fetch_add(1, std::memory_order_relaxed);
   c.entries.push_back({this, uid_, r});
   return r;
@@ -190,8 +208,14 @@ void hazard_domain::release_record(record *rec) {
                            rec->retired.end());
     rec->retired.clear();
   }
-  for (auto &s : rec->slots) s.store(nullptr, std::memory_order_release);
+  for (auto &s : rec->slots) {
+    SSQ_MO_JUSTIFIED("release: a scanner reading null synchronizes with our "
+                     "prior accesses; no later access needs ordering");
+    s.store(nullptr, std::memory_order_release);
+  }
   rec->used_mask = 0;
+  SSQ_MO_JUSTIFIED("release: publishes the cleared slots and used_mask to "
+                   "the adopter's acq_rel CAS");
   rec->active.store(false, std::memory_order_release);
 }
 
@@ -224,10 +248,12 @@ void hazard_domain::retire(void *ptr, void (*deleter)(void *)) {
   record *rec = acquire_record();
   rec->retired.push_back({ptr, deleter});
   diag::bump(diag::id::node_retire);
+  SSQ_MO_JUSTIFIED("relaxed: monitoring counter, documented approximate");
   retired_estimate_.fetch_add(1, std::memory_order_relaxed);
 
   // Amortized threshold: R >= H (total hazard slots) guarantees each scan
   // frees at least R - H nodes.
+  SSQ_MO_JUSTIFIED("relaxed: scan-threshold heuristic, staleness benign");
   const std::size_t threshold =
       std::max<std::size_t>(64, 2 * slots_per_record *
                                     nrecords_.load(std::memory_order_relaxed));
@@ -252,8 +278,11 @@ std::size_t hazard_domain::scan_with(record *rec) {
 
   // Stage 1: snapshot every published hazard.
   std::vector<const void *> hazards;
+  SSQ_MO_JUSTIFIED("relaxed: capacity hint only");
   hazards.reserve(slots_per_record *
                   nrecords_.load(std::memory_order_relaxed));
+  SSQ_MO_JUSTIFIED("acquire: list traversal; the seq_cst slot loads inside "
+                   "are the ordering anchor of the scan");
   for (record *r = head_.load(std::memory_order_acquire); r; r = r->next) {
     for (auto &s : r->slots) {
       const void *p = s.load(std::memory_order_seq_cst);
@@ -285,6 +314,7 @@ std::size_t hazard_domain::scan_with(record *rec) {
     }
   }
   rec->retired.swap(survivors);
+  SSQ_MO_JUSTIFIED("relaxed: monitoring counter, documented approximate");
   retired_estimate_.fetch_sub(freed, std::memory_order_relaxed);
   return freed;
 }

@@ -35,6 +35,15 @@
 // non-woken exit and on the done-flipped-after-prepare fast path, so a
 // finished episode never leaves `armed` behind: a late same-episode
 // signal() then needs no futex syscall at all.
+//
+// Memory-order discipline (docs/memory_model.md): prepare()'s arming CAS
+// and signal()'s initial read + CAS form a store-load Dekker (the missed-
+// wakeup argument above) and stay seq_cst, as do disarm() and reset()
+// (episode boundaries raced by straggler signals). What relaxes is the
+// waiter/observer side, paired as the labeled edge `park.signal`: the
+// signal CAS is the release end; wait()'s post-futex re-read and
+// was_signalled() acquire it. Diagnostic observers read relaxed. Weakened
+// orders are spelled SSQ_MO(...) so -DSSQ_FORCE_SEQ_CST pins the file.
 #pragma once
 
 #include <atomic>
@@ -93,8 +102,10 @@ class park_slot {
   wait_result wait(deadline dl, interrupt_token *tok = nullptr) noexcept {
     if (tok && tok->interrupted()) return wait_result::interrupted;
     diag::bump(diag::id::park);
+    SSQ_MO_JUSTIFIED("relaxed: owner-only read of this thread's own "
+                     "prepare(); the episode word cannot change gen here");
     const std::uint32_t armed_word =
-        gen_of(state_.load(std::memory_order_seq_cst)) | armed;
+        gen_of(state_.load(SSQ_MO(relaxed))) | armed;
     for (;;) {
       deadline chunk = dl;
       if (tok) {
@@ -104,7 +115,8 @@ class park_slot {
       }
       futex_result r = futex_wait(&state_, armed_word, chunk);
       if (tok && tok->interrupted()) return wait_result::interrupted;
-      if (state_.load(std::memory_order_seq_cst) != armed_word)
+      SSQ_MO_ACQUIRE_EDGE("park.signal");
+      if (state_.load(SSQ_MO(acquire)) != armed_word)
         return wait_result::woken;
       if (r == futex_result::timeout) {
         if (dl.expired_now()) return wait_result::timeout;
@@ -127,6 +139,10 @@ class park_slot {
     for (;;) {
       if (phase_of(w) == signalled) return;
       std::uint32_t observed = w;
+      // seq_cst: the signalling CAS is the fulfiller's half of the Dekker
+      // with prepare(); the label documents the release side of the
+      // park.signal edge the waiter's re-read acquires.
+      SSQ_MO_RELEASE_EDGE("park.signal");
       if (state_.compare_exchange_strong(w, gen_of(observed) | signalled,
                                          std::memory_order_seq_cst)) {
         if (phase_of(observed) == armed) {
@@ -168,15 +184,18 @@ class park_slot {
   }
 
   bool was_signalled() const noexcept {
-    return phase_of(state_.load(std::memory_order_seq_cst)) == signalled;
+    SSQ_MO_ACQUIRE_EDGE("park.signal");
+    return phase_of(state_.load(SSQ_MO(acquire))) == signalled;
   }
 
   // Test/diagnostic observers.
   bool is_armed() const noexcept {
-    return phase_of(state_.load(std::memory_order_seq_cst)) == armed;
+    SSQ_MO_JUSTIFIED("relaxed: diagnostic observer, racy by contract");
+    return phase_of(state_.load(SSQ_MO(relaxed))) == armed;
   }
   std::uint32_t episode() const noexcept {
-    return gen_of(state_.load(std::memory_order_seq_cst)) / gen_step;
+    SSQ_MO_JUSTIFIED("relaxed: diagnostic observer, racy by contract");
+    return gen_of(state_.load(SSQ_MO(relaxed))) / gen_step;
   }
 
  private:

@@ -1,0 +1,47 @@
+// ssq-lint fixture: release/acquire pairing violations (check `mo-pairing`,
+// the cross-site edge table described in docs/memory_model.md).
+//   1. an acquire edge whose label has no release or fence partner anywhere
+//      in the file
+//   2. a field published by a release edge, re-read relaxed with neither an
+//      acquire edge nor SSQ_MO_JUSTIFIED (the bare relaxed load also fires
+//      mo-unjustified)
+//   3. a release edge covering a statement with no store/RMW it can bind to
+//   4. a correctly paired label ("pair.word") -- must NOT be reported
+#include <atomic>
+
+#include "../../src/support/annotations.hpp"
+
+namespace fix {
+
+class pairing {
+ public:
+  void publish(int v) noexcept {
+    SSQ_MO_RELEASE_EDGE("pair.word");
+    word_.store(v, std::memory_order_release);
+  }
+
+  int consume() noexcept {
+    SSQ_MO_ACQUIRE_EDGE("pair.word");
+    return word_.load(std::memory_order_acquire);
+  }
+
+  int orphan_acquire() noexcept {
+    SSQ_MO_ACQUIRE_EDGE("pair.orphan");
+    return flag_.load(std::memory_order_acquire);
+  }
+
+  int sloppy_reread() noexcept {
+    return word_.load(std::memory_order_relaxed);
+  }
+
+  int misbound_release() noexcept {
+    SSQ_MO_RELEASE_EDGE("pair.word");
+    return word_.load(std::memory_order_acquire);
+  }
+
+ private:
+  std::atomic<int> word_{0};
+  std::atomic<int> flag_{0};
+};
+
+} // namespace fix

@@ -1,0 +1,51 @@
+// ssq-lint fixture: edge ends that disagree (check `mo-pairing`).
+//   1. the two ends of one label bound to different atomic fields -- the
+//      release publishes one word, the acquire reads another, so the label
+//      claims a synchronizes-with that never forms
+//   2. an acquire edge bound to a relaxed load (order too weak for the
+//      edge it names)
+//   3. a label whose ends agree on field and order -- must NOT be reported
+#include <atomic>
+
+#include "../../src/support/annotations.hpp"
+
+namespace fix {
+
+class mismatched {
+ public:
+  void publish(int v) noexcept {
+    SSQ_MO_RELEASE_EDGE("mix.label");
+    word_.store(v, std::memory_order_release);
+  }
+
+  int consume_wrong_field() noexcept {
+    SSQ_MO_ACQUIRE_EDGE("mix.label");
+    return flag_.load(std::memory_order_acquire);
+  }
+
+  void weak_publish(int v) noexcept {
+    SSQ_MO_RELEASE_EDGE("mix.weak");
+    word_.store(v, std::memory_order_release);
+  }
+
+  int weak_consume() noexcept {
+    SSQ_MO_ACQUIRE_EDGE("mix.weak");
+    return word_.load(std::memory_order_relaxed);
+  }
+
+  void good_publish(int v) noexcept {
+    SSQ_MO_RELEASE_EDGE("mix.good");
+    flag_.store(v, std::memory_order_release);
+  }
+
+  int good_consume() noexcept {
+    SSQ_MO_ACQUIRE_EDGE("mix.good");
+    return flag_.load(std::memory_order_acquire);
+  }
+
+ private:
+  std::atomic<int> word_{0};
+  std::atomic<int> flag_{0};
+};
+
+} // namespace fix

@@ -1,0 +1,39 @@
+// ssq-lint fixture: relaxed read-modify-writes on labeled ordering edges
+// (check `mo-pairing`). An RMW that participates in a release or acquire
+// edge must carry an order that actually creates the edge; relaxed makes
+// the label a lie.
+//   1. a relaxed CAS bound to a release edge
+//   2. a relaxed fetch_add bound to an acquire edge of the same label
+//   3. an acq_rel CAS on its own label -- must NOT be reported
+#include <atomic>
+
+#include "../../src/support/annotations.hpp"
+
+namespace fix {
+
+class rmw_edges {
+ public:
+  bool claim_relaxed() noexcept {
+    int expected = 0;
+    SSQ_MO_RELEASE_EDGE("claim.word");
+    return word_.compare_exchange_strong(expected, 1,
+                                         std::memory_order_relaxed);
+  }
+
+  int tick_relaxed() noexcept {
+    SSQ_MO_ACQUIRE_EDGE("claim.word");
+    return word_.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  bool claim_proper() noexcept {
+    int expected = 0;
+    SSQ_MO_RELEASE_EDGE("claim.clean");
+    return word_.compare_exchange_strong(expected, 1,
+                                         std::memory_order_acq_rel);
+  }
+
+ private:
+  std::atomic<int> word_{0};
+};
+
+} // namespace fix

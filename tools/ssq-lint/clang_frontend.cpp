@@ -24,6 +24,8 @@
 
 #include "clang/AST/ASTConsumer.h"
 #include "clang/AST/Attr.h"
+#include "clang/AST/DeclCXX.h"
+#include "clang/AST/ExprCXX.h"
 #include "clang/AST/RecursiveASTVisitor.h"
 #include "clang/Frontend/CompilerInstance.h"
 #include "clang/Frontend/FrontendAction.h"
@@ -47,6 +49,10 @@ struct AnnoCounts {
   int returns_unprotected = 0;
   int episode = 0;
   int cell_state = 0;
+  int release_edge = 0;
+  int acquire_edge = 0;
+  int fence_edge = 0;
+  int cell_transition = 0;
 };
 
 class AnnoVisitor : public clang::RecursiveASTVisitor<AnnoVisitor> {
@@ -74,6 +80,30 @@ class AnnoVisitor : public clang::RecursiveASTVisitor<AnnoVisitor> {
       else if (a == "ssq::cell_state_field")
         ++counts_.cell_state;
     }
+    return true;
+  }
+
+  // The statement-position markers (SSQ_MO_*_EDGE, SSQ_CELL_TRANSITION)
+  // expand to static_asserts whose messages embed the macro name
+  // (annotations.hpp documents this contract), so they are recountable off
+  // StaticAssertDecl nodes. getExpansionLoc maps a marker reached through a
+  // helper macro back to its use site in the main file -- the same place
+  // the token frontend records it after its own macro expansion.
+  bool VisitStaticAssertDecl(clang::StaticAssertDecl *d) {
+    if (!sm_.isWrittenInMainFile(sm_.getExpansionLoc(d->getLocation())))
+      return true;
+    const auto *msg =
+        llvm::dyn_cast_or_null<clang::StringLiteral>(d->getMessage());
+    if (!msg) return true;
+    llvm::StringRef s = msg->getString();
+    if (s.contains("SSQ_MO_RELEASE_EDGE"))
+      ++counts_.release_edge;
+    else if (s.contains("SSQ_MO_ACQUIRE_EDGE"))
+      ++counts_.acquire_edge;
+    else if (s.contains("SSQ_MO_FENCE_EDGE"))
+      ++counts_.fence_edge;
+    else if (s.contains("SSQ_CELL_TRANSITION"))
+      ++counts_.cell_transition;
     return true;
   }
 
@@ -145,6 +175,12 @@ AnnoCounts token_counts(const std::string &path) {
   }
   c.guarded = static_cast<int>(m.guarded_fields.size());
   c.cell_state = static_cast<int>(m.cell_state_fields.size());
+  for (const MoEdge &e : m.mo_edges) {
+    if (e.kind == MoEdge::Kind::Release) ++c.release_edge;
+    else if (e.kind == MoEdge::Kind::Acquire) ++c.acquire_edge;
+    else ++c.fence_edge;
+  }
+  c.cell_transition = static_cast<int>(m.cell_transitions.size());
   return c;
 }
 
@@ -198,6 +234,13 @@ std::vector<Diagnostic> clang_cross_check(
     compare(f, "episode-reset", clang_c.episode, token_c.episode, out);
     compare(f, "cell-state-field", clang_c.cell_state, token_c.cell_state,
             out);
+    compare(f, "release-edge", clang_c.release_edge, token_c.release_edge,
+            out);
+    compare(f, "acquire-edge", clang_c.acquire_edge, token_c.acquire_edge,
+            out);
+    compare(f, "fence-edge", clang_c.fence_edge, token_c.fence_edge, out);
+    compare(f, "cell-transition", clang_c.cell_transition,
+            token_c.cell_transition, out);
   }
   return out;
 }

@@ -63,17 +63,60 @@ LexedFile lex(const std::string &src) {
       out.comments.push_back({src.substr(start, i - start), start_line});
       continue;
     }
-    // Preprocessor: drop the whole (possibly continued) line, except that
-    // we keep nothing -- annotations are macros that appear in code, not
-    // directives.
+    // Preprocessor: collect the whole (possibly continued) logical line.
+    // `#define` bodies are captured as MacroDefs so helper-macro-wrapped
+    // annotations and atomic operations stay visible to the checks; every
+    // other directive is dropped.
     if (c == '#') {
+      int start_line = line;
+      std::string text;
+      ++i; // '#'
       while (i < n && src[i] != '\n') {
         if (src[i] == '\\' && i + 1 < n && src[i + 1] == '\n') {
           ++line;
           i += 2;
+          text.push_back(' ');
           continue;
         }
+        text.push_back(src[i]);
         ++i;
+      }
+      std::size_t p = text.find_first_not_of(" \t");
+      if (p != std::string::npos && text.compare(p, 6, "define") == 0 &&
+          p + 6 < text.size() &&
+          std::isspace(static_cast<unsigned char>(text[p + 6]))) {
+        p = text.find_first_not_of(" \t", p + 6);
+        if (p != std::string::npos && ident_start(text[p])) {
+          MacroDef def;
+          std::size_t q = p;
+          while (q < text.size() && ident_char(text[q])) ++q;
+          def.name = text.substr(p, q - p);
+          // A '(' with no intervening space makes it function-like.
+          if (q < text.size() && text[q] == '(') {
+            def.function_like = true;
+            ++q;
+            std::string param;
+            while (q < text.size() && text[q] != ')') {
+              if (text[q] == ',') {
+                if (!param.empty()) def.params.push_back(param);
+                param.clear();
+              } else if (!std::isspace(static_cast<unsigned char>(text[q]))) {
+                param.push_back(text[q]);
+              }
+              ++q;
+            }
+            if (!param.empty()) def.params.push_back(param);
+            if (q < text.size()) ++q; // ')'
+          }
+          // Lex the body with this same lexer; re-stamp the directive line.
+          LexedFile body = lex(text.substr(q));
+          for (Token &bt : body.tokens) {
+            if (bt.kind == Token::Kind::Eof) continue;
+            bt.line = start_line;
+            def.body.push_back(bt);
+          }
+          out.defines.push_back(std::move(def));
+        }
       }
       continue;
     }

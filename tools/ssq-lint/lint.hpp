@@ -21,15 +21,34 @@
 //                          re-pointed or cleared since it was protected
 //   park-episode           a path that can leave a prepared park_slot armed
 //   mo-unjustified         non-seq_cst atomic op without SSQ_MO_JUSTIFIED
+//                          (or a labeled SSQ_MO_*_EDGE marker, which also
+//                          justifies)
 //   mo-relaxed-control     unjustified memory_order_relaxed load feeding a
 //                          branch condition (reported instead of
 //                          mo-unjustified for that op)
+//   mo-pairing             labeled release/acquire edge analysis over the
+//                          per-atomic-field edge table: an acquire end with
+//                          no same-label release/fence partner, two ends of
+//                          one label on different fields, a relaxed RMW on
+//                          a labeled edge, an edge marker binding to no
+//                          atomic operation (or one of the wrong shape),
+//                          and relaxed re-reads of a field some release
+//                          edge publishes
 //   cell-state             mutation of an SSQ_CELL_STATE_FIELD without an
-//                          adjacent SSQ_CELL_TRANSITION marker, or a marker
+//                          adjacent SSQ_CELL_TRANSITION marker, a marker
 //                          naming an edge outside the legal cell protocol
-//                          (core/segment_queue.hpp's state machine)
+//                          (core/segment_queue.hpp's state machine), or a
+//                          transition that does not name the declared
+//                          mo-pairing edge ordering it
 //   bad-suppression        a suppression comment with no justification or
 //                          an unknown check name
+//
+// Marker adjacency is statement-extent based: a marker covers the statement
+// it appears in, the next non-marker sibling statement after a consecutive
+// run of markers, or the previous sibling when the marker shares its last
+// source line. Annotations and atomic operations reached through in-file
+// helper-macro expansion (#define bodies) are expanded by the token
+// frontend, one level deep per pass, before parsing.
 #pragma once
 
 #include <cstddef>
@@ -55,15 +74,28 @@ struct Comment {
   int line; // line the comment starts on
 };
 
+// An in-file `#define`, captured so annotations and atomic operations
+// wrapped in helper macros are not silently invisible to the checks. Only
+// the shapes this tree uses are modeled: object-like and function-like
+// macros whose bodies are ordinary token sequences (no stringize/paste).
+struct MacroDef {
+  std::string name;
+  bool function_like = false;
+  std::vector<std::string> params;
+  std::vector<Token> body; // token lines = directive line
+};
+
 struct LexedFile {
   std::vector<Token> tokens;
   std::vector<Comment> comments;
+  std::vector<MacroDef> defines;
 };
 
-// Tokenize C++ source. Comments and preprocessor directives are removed
-// from the token stream (comments are retained separately); `->`, `::`,
-// `&&`, `||`, `==`, `!=`, `<=`, `>=` are single tokens, all other
-// punctuation is one char per token.
+// Tokenize C++ source. Comments are removed from the token stream but
+// retained separately; preprocessor directives are removed too, except that
+// `#define` bodies are captured into `defines` so the parser can expand
+// in-file helper macros. `->`, `::`, `&&`, `||`, `==`, `!=`, `<=`, `>=`
+// are single tokens, all other punctuation is one char per token.
 LexedFile lex(const std::string &src);
 
 // ------------------------------------------------------------------- model
@@ -110,10 +142,21 @@ struct Function {
   std::set<std::size_t> deref_params;
 };
 
-// One SSQ_CELL_TRANSITION(from, to) marker as written in source.
+// One SSQ_CELL_TRANSITION(from, to, "edge") marker as written in source.
+// `edge` is empty when the marker was written in the legacy two-argument
+// form (itself a cell-state diagnostic).
 struct CellTransition {
   int line = 0;
   std::string from, to;
+  std::string edge;
+};
+
+// One SSQ_MO_RELEASE_EDGE / SSQ_MO_ACQUIRE_EDGE / SSQ_MO_FENCE_EDGE marker.
+struct MoEdge {
+  enum class Kind { Release, Acquire, Fence };
+  int line = 0;
+  Kind kind = Kind::Release;
+  std::string label;
 };
 
 struct FileModel {
@@ -122,6 +165,7 @@ struct FileModel {
   std::set<std::string> node_types;     // structs owning a guarded field
   std::set<std::string> cell_state_fields; // fields under SSQ_CELL_STATE_FIELD
   std::vector<CellTransition> cell_transitions;
+  std::vector<MoEdge> mo_edges;
   std::vector<Function> functions;
   std::vector<Comment> comments;
   std::set<int> mo_justified_lines; // lines holding an SSQ_MO_JUSTIFIED
@@ -145,7 +189,7 @@ struct Diagnostic {
   }
 };
 
-// Run all four checks over a model.
+// Run every check over a model.
 std::vector<Diagnostic> run_checks(const FileModel &model);
 
 #ifdef SSQ_LINT_WITH_CLANG

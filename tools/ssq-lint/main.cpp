@@ -5,6 +5,8 @@
 //   --expect=FILE   compare diagnostics against FILE (one `name:line:check`
 //                   per line, `#` comments); exit 0 iff they match exactly.
 //                   This is how the ctest fixtures assert behavior.
+//   --check=NAME    report only diagnostics of check NAME (all checks still
+//                   run; the filter applies to the output and exit status).
 //   -p DIR          compile-commands directory (consumed by the LibTooling
 //                   frontend when built with SSQ_LINT_WITH_CLANG; accepted
 //                   and ignored by the portable frontend so both spellings
@@ -81,16 +83,20 @@ std::vector<Expected> parse_expect(const std::string &text) {
 int main(int argc, char **argv) {
   std::string expect_path;
   std::string compile_db_dir;
+  std::string check_filter;
   std::vector<std::string> files;
   for (int i = 1; i < argc; ++i) {
     std::string a = argv[i];
     if (a.rfind("--expect=", 0) == 0) {
       expect_path = a.substr(9);
+    } else if (a.rfind("--check=", 0) == 0) {
+      check_filter = a.substr(8);
     } else if (a == "-p") {
       if (i + 1 < argc) compile_db_dir = argv[++i];
     } else if (a == "--help" || a == "-h") {
       std::fprintf(stderr,
-                   "usage: ssq-lint [--expect=FILE] [-p DIR] <file>...\n");
+                   "usage: ssq-lint [--expect=FILE] [--check=NAME] [-p DIR] "
+                   "<file>...\n");
       return 2;
     } else {
       files.push_back(a);
@@ -112,6 +118,12 @@ int main(int argc, char **argv) {
     auto d = ssqlint::run_checks(model);
     diags.insert(diags.end(), d.begin(), d.end());
   }
+  if (!check_filter.empty())
+    diags.erase(std::remove_if(diags.begin(), diags.end(),
+                               [&](const ssqlint::Diagnostic &d) {
+                                 return d.check != check_filter;
+                               }),
+                diags.end());
   std::sort(diags.begin(), diags.end());
 
   if (!expect_path.empty()) {

@@ -42,15 +42,45 @@ struct Parser {
   }
   bool eof() const { return cur().kind == Token::Kind::Eof; }
 
-  // Record SSQ_CELL_TRANSITION(from, to) when `i` sits on the macro name.
-  // Lookahead only; the caller's normal token consumption carries on, so the
-  // marker stays visible in the statement stream it annotates.
+  // Record SSQ_CELL_TRANSITION(from, to[, "edge"]) when `i` sits on the
+  // macro name. Lookahead only; the caller's normal token consumption
+  // carries on, so the marker stays visible in the statement stream it
+  // annotates. The legacy two-argument form is recorded with an empty edge
+  // (the cell-state check flags it).
   void maybe_transition() {
     if (!is_ident(cur(), "SSQ_CELL_TRANSITION")) return;
-    if (is_punct(at(1), "(") && at(2).kind == Token::Kind::Ident &&
-        is_punct(at(3), ",") && at(4).kind == Token::Kind::Ident &&
-        is_punct(at(5), ")"))
-      model.cell_transitions.push_back({cur().line, at(2).text, at(4).text});
+    if (!(is_punct(at(1), "(") && at(2).kind == Token::Kind::Ident &&
+          is_punct(at(3), ",") && at(4).kind == Token::Kind::Ident))
+      return;
+    if (is_punct(at(5), ")")) {
+      model.cell_transitions.push_back(
+          {cur().line, at(2).text, at(4).text, ""});
+    } else if (is_punct(at(5), ",") && at(6).kind == Token::Kind::String &&
+               is_punct(at(7), ")")) {
+      model.cell_transitions.push_back(
+          {cur().line, at(2).text, at(4).text, unquote(at(6).text)});
+    }
+  }
+
+  // Record SSQ_MO_RELEASE_EDGE / SSQ_MO_ACQUIRE_EDGE / SSQ_MO_FENCE_EDGE
+  // ("label") when `i` sits on the macro name. Lookahead only, like
+  // maybe_transition().
+  void maybe_mo_edge() {
+    if (cur().kind != Token::Kind::Ident) return;
+    MoEdge::Kind kind;
+    if (cur().text == "SSQ_MO_RELEASE_EDGE") kind = MoEdge::Kind::Release;
+    else if (cur().text == "SSQ_MO_ACQUIRE_EDGE") kind = MoEdge::Kind::Acquire;
+    else if (cur().text == "SSQ_MO_FENCE_EDGE") kind = MoEdge::Kind::Fence;
+    else return;
+    if (is_punct(at(1), "(") && at(2).kind == Token::Kind::String &&
+        is_punct(at(3), ")"))
+      model.mo_edges.push_back({cur().line, kind, unquote(at(2).text)});
+  }
+
+  static std::string unquote(const std::string &s) {
+    if (s.size() >= 2 && s.front() == '"' && s.back() == '"')
+      return s.substr(1, s.size() - 2);
+    return s;
   }
 
   // Skip a balanced group starting at an opener token ('(', '{', '[', '<').
@@ -112,6 +142,15 @@ struct Parser {
         if (tok.text == "SSQ_REQUIRES_EPISODE_RESET") { pend.episode_reset = true; ++i; continue; }
         if (tok.text == "SSQ_MO_JUSTIFIED") {
           model.mo_justified_lines.insert(tok.line);
+          ++i;
+          if (is_punct(cur(), "(")) skip_balanced("(", ")");
+          if (is_punct(cur(), ";")) ++i;
+          continue;
+        }
+        if (tok.text == "SSQ_MO_RELEASE_EDGE" ||
+            tok.text == "SSQ_MO_ACQUIRE_EDGE" ||
+            tok.text == "SSQ_MO_FENCE_EDGE") {
+          maybe_mo_edge();
           ++i;
           if (is_punct(cur(), "(")) skip_balanced("(", ")");
           if (is_punct(cur(), ";")) ++i;
@@ -289,6 +328,7 @@ struct Parser {
       if (is_punct(cur(), open)) ++depth;
       else if (is_punct(cur(), close)) --depth;
       maybe_transition(); // e.g. markers inside a switch body
+      maybe_mo_edge();
       out.push_back(cur());
       ++i;
       if (depth == 0) return;
@@ -559,6 +599,7 @@ struct Parser {
         if (is_ident(cur(), "SSQ_MO_JUSTIFIED"))
           model.mo_justified_lines.insert(cur().line);
         maybe_transition();
+        maybe_mo_edge();
         out.push_back(cur());
       }
       ++i;
@@ -584,11 +625,102 @@ struct Parser {
       if (is_ident(tok, "SSQ_MO_JUSTIFIED"))
         model.mo_justified_lines.insert(tok.line);
       maybe_transition();
+      maybe_mo_edge();
       out.push_back(tok);
       ++i;
     }
   }
 };
+
+// One expansion pass over the token stream: every use of an in-file
+// MacroDef is replaced by its body, with function-like parameters
+// substituted by the use-site argument tokens and every spliced token
+// re-stamped with the invocation line. Ran to a fixed point (bounded) by
+// expand_macros so macros wrapping macros still resolve; self-reference is
+// cut off by the pass bound rather than tracked.
+std::vector<Token> expand_once(const std::vector<Token> &in,
+                               const std::map<std::string, const MacroDef *> &defs,
+                               bool &changed) {
+  std::vector<Token> out;
+  out.reserve(in.size());
+  for (std::size_t i = 0; i < in.size(); ++i) {
+    const Token &tok = in[i];
+    auto it = tok.kind == Token::Kind::Ident ? defs.find(tok.text)
+                                             : defs.end();
+    if (it == defs.end()) {
+      out.push_back(tok);
+      continue;
+    }
+    const MacroDef &def = *it->second;
+    int use_line = tok.line;
+    std::vector<std::vector<Token>> args;
+    std::size_t next = i + 1;
+    if (def.function_like) {
+      if (next >= in.size() || !is_punct(in[next], "(")) {
+        out.push_back(tok); // name without call syntax: not an invocation
+        continue;
+      }
+      args.emplace_back();
+      int depth = 0;
+      std::size_t j = next;
+      for (; j < in.size(); ++j) {
+        const Token &a = in[j];
+        if (is_punct(a, "(")) {
+          if (depth++ == 0) continue;
+        } else if (is_punct(a, ")")) {
+          if (--depth == 0) break;
+        } else if (is_punct(a, ",") && depth == 1) {
+          args.emplace_back();
+          continue;
+        }
+        args.back().push_back(a);
+      }
+      if (j >= in.size()) { // unbalanced; bail on this invocation
+        out.push_back(tok);
+        continue;
+      }
+      next = j + 1;
+    }
+    for (const Token &bt : def.body) {
+      bool substituted = false;
+      if (def.function_like && bt.kind == Token::Kind::Ident) {
+        for (std::size_t pi = 0; pi < def.params.size(); ++pi) {
+          if (def.params[pi] != bt.text) continue;
+          if (pi < args.size())
+            for (Token at : args[pi]) {
+              at.line = use_line;
+              out.push_back(at);
+            }
+          substituted = true;
+          break;
+        }
+      }
+      if (!substituted) {
+        Token copy = bt;
+        copy.line = use_line;
+        out.push_back(copy);
+      }
+    }
+    i = next - 1;
+    changed = true;
+  }
+  return out;
+}
+
+std::vector<Token> expand_macros(std::vector<Token> tokens,
+                                 const std::vector<MacroDef> &defines) {
+  if (defines.empty()) return tokens;
+  std::map<std::string, const MacroDef *> defs;
+  for (const MacroDef &d : defines)
+    if (!d.body.empty()) defs[d.name] = &d; // empty bodies: plain erasure is
+                                            // what the old behavior did too
+  for (int pass = 0; pass < 4; ++pass) {
+    bool changed = false;
+    tokens = expand_once(tokens, defs, changed);
+    if (!changed) break;
+  }
+  return tokens;
+}
 
 } // namespace
 
@@ -597,7 +729,8 @@ FileModel build_model(const std::string &path, const std::string &src) {
   model.path = path;
   LexedFile lf = lex(src);
   model.comments = std::move(lf.comments);
-  Parser p(lf.tokens, model);
+  std::vector<Token> tokens = expand_macros(std::move(lf.tokens), lf.defines);
+  Parser p(tokens, model);
   p.scan_scope("", /*in_class=*/false);
   return model;
 }
