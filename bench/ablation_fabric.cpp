@@ -1,0 +1,94 @@
+// Ablation H: sharded handoff fabric (core/fabric.hpp) vs a single lane.
+//
+// The fabric splits one synchronous queue into N independent segment-queue
+// lanes and pairs threads with d-choice probing: a camped counterpart on
+// any probed lane is taken immediately, otherwise the thread camps on its
+// home lane. Sharding buys two things on a contended handoff workload:
+//
+//   * head/tail CAS traffic divides across lanes, so the cas_fail rate --
+//     the paper's contention indicator -- drops with lane count, and
+//   * probing finds already-camped partners before committing to a park,
+//     so fewer transfers pay a futex round-trip.
+//
+// This bench prices both: ns/transfer for lanes=1/2/4 on the same handoff
+// workload as the figure benches, plus parks and head/tail CAS failures
+// per transfer from the diagnostic counters. lanes=1 degenerates to a
+// plain segmented core behind the probe logic, so the column pair
+// (lanes=1, lanes=4) isolates what sharding itself is worth.
+//
+// The committed snapshot BENCH_fabric.json is this bench's --json output
+// on the reference container (levels 1,2,4,8 -- level 8 = 16 threads).
+#include "bench_common.hpp"
+
+#include "support/diagnostics.hpp"
+
+using namespace ssq;
+using namespace ssq::bench;
+
+namespace {
+
+// measure_core default-constructs its queue type; pin the lane-count
+// policy per type so one template covers the whole sweep.
+template <unsigned Lanes>
+struct fab_t : fabric_synchronous_queue<payload> {
+  fab_t() : fabric_synchronous_queue<payload>(fabric_config{Lanes}) {}
+};
+
+struct cell_result {
+  double ns = 0;       // median ns/transfer
+  double parks = 0;    // kernel parks per transfer (worst rep)
+  double cas_fail = 0; // head/tail/item CAS failures per transfer (worst rep)
+};
+
+template <typename Q>
+cell_result measure_core(int pairs, const sweep_config &cfg) {
+  std::vector<double> samples;
+  cell_result out;
+  for (int r = 0; r < cfg.reps; ++r) {
+    const std::uint64_t p0 = diag::read(diag::id::park);
+    const std::uint64_t f0 = diag::read(diag::id::cas_fail);
+    {
+      Q q;
+      auto res = harness::run_handoff(q, pairs, pairs, cfg.ops);
+      if (!res.checksum_ok) {
+        std::fprintf(stderr, "CHECKSUM FAILURE (pairs=%d)\n", pairs);
+        std::exit(1);
+      }
+      samples.push_back(res.ns_per_transfer);
+    }
+    const auto per = [&](std::uint64_t d) {
+      return static_cast<double>(d) / static_cast<double>(cfg.ops);
+    };
+    out.parks = std::max(out.parks, per(diag::read(diag::id::park) - p0));
+    out.cas_fail =
+        std::max(out.cas_fail, per(diag::read(diag::id::cas_fail) - f0));
+  }
+  out.ns = harness::summarize(samples).median;
+  return out;
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  auto cfg = parse_sweep(argc, argv, {1, 2, 4, 8}, "ablation_fabric.csv");
+
+  harness::table t({"pairs", "lanes=1 ns/x", "lanes=2 ns/x", "lanes=4 ns/x",
+                    "speedup 4v1", "lanes=1 park/x", "lanes=4 park/x",
+                    "lanes=1 casf/x", "lanes=4 casf/x"});
+  for (int n : cfg.levels) {
+    cell_result l1 = measure_core<fab_t<1>>(n, cfg);
+    cell_result l2 = measure_core<fab_t<2>>(n, cfg);
+    cell_result l4 = measure_core<fab_t<4>>(n, cfg);
+    const double speedup = l4.ns > 0 ? l1.ns / l4.ns : 0.0;
+    t.add_row({std::to_string(n), harness::table::fmt(l1.ns),
+               harness::table::fmt(l2.ns), harness::table::fmt(l4.ns),
+               harness::table::fmt(speedup) + "x",
+               harness::table::fmt(l1.parks, 4),
+               harness::table::fmt(l4.parks, 4),
+               harness::table::fmt(l1.cas_fail, 4),
+               harness::table::fmt(l4.cas_fail, 4)});
+    std::fflush(stdout);
+  }
+  emit(t, cfg, "Ablation H: sharded handoff fabric, lane-count sweep");
+  return 0;
+}

@@ -18,9 +18,19 @@ one such file per build mode. This script consumes pairs of them:
            than B by more than --tolerance (default 0.15, i.e. 15%) on any
            row. This is the CI bench gate: A = relaxed, B = forced seq_cst;
            lower is better.
+  regress  same-mode gate for committed BENCH_*.json snapshots: A = the
+           committed baseline, B = a fresh run of the same bench. Exit 1
+           only on a genuine regression -- a shared cell where B is slower
+           than A by more than --tolerance. Rows or columns present in only
+           one file (a bench gained or lost a series since the snapshot)
+           are *reported*, never fatal: schema drift is what a refreshed
+           snapshot is for, not a reason to fail the gate.
 
-The two inputs must disagree on meta.memory_order (a differential needs two
-modes); --allow-same-mode disables that check for ad-hoc use.
+Rows and columns present in only one input are reported as added/removed in
+every mode; the comparison proceeds over the shared cells. compare/parity
+require the two inputs to disagree on meta.memory_order (a differential
+needs two modes); --allow-same-mode disables that check for ad-hoc use, and
+regress mode (a same-mode diff by definition) never applies it.
 """
 
 import argparse
@@ -70,6 +80,29 @@ def paired_rows(doc_a, doc_b):
             yield ra[k], ra, rb
 
 
+def report_drift(doc_a, doc_b):
+    """Print added/removed columns and rows; the diff proceeds over the
+    shared cells either way."""
+    ca, cb = doc_a["columns"], doc_b["columns"]
+    for c in ca:
+        if c not in cb:
+            print(f"  note: column {c!r} only in A (removed from B)")
+    for c in cb:
+        if c not in ca:
+            print(f"  note: column {c!r} only in B (added since A)")
+    k = key_column(doc_a)
+    if k != key_column(doc_b):
+        return
+    keys_a = [r.get(k) for r in doc_a["rows"]]
+    keys_b = [r.get(k) for r in doc_b["rows"]]
+    for key in keys_a:
+        if key not in keys_b:
+            print(f"  note: row {k}={key!r} only in A (removed from B)")
+    for key in keys_b:
+        if key not in keys_a:
+            print(f"  note: row {k}={key!r} only in B (added since A)")
+
+
 def check_modes(doc_a, doc_b, allow_same):
     ma, mb = meta(doc_a, "memory_order"), meta(doc_b, "memory_order")
     if ma == mb and not allow_same:
@@ -84,9 +117,10 @@ def cmd_compare(args):
     a, b = load(args.file_a), load(args.file_b)
     ma, mb = check_modes(a, b, args.allow_same_mode)
     cols = numeric_columns(a, b, args.metric)
+    print(f"A = {args.file_a} ({ma}), B = {args.file_b} ({mb})")
+    report_drift(a, b)
     if not cols:
         sys.exit(f"no shared numeric columns matching {args.metric!r}")
-    print(f"A = {args.file_a} ({ma}), B = {args.file_b} ({mb})")
     k = key_column(a)
     header = [k] + [f"{c} A|B|B/A" for c in cols]
     print("  ".join(header))
@@ -121,6 +155,7 @@ def cmd_parity(args):
     a, b = load(args.file_a), load(args.file_b)
     check_modes(a, b, args.allow_same_mode)
     cols = numeric_columns(a, b, args.metric)
+    report_drift(a, b)
     if not cols:
         sys.exit(f"no shared numeric columns matching {args.metric!r}")
     worst = []
@@ -154,16 +189,61 @@ def cmd_parity(args):
     return 0
 
 
+def cmd_regress(args):
+    a, b = load(args.file_a), load(args.file_b)
+    ma, mb = meta(a, "memory_order"), meta(b, "memory_order")
+    if ma != mb:
+        # A cross-mode diff through the regression gate is almost certainly
+        # a wiring mistake (comparing a relaxed snapshot against a seq_cst
+        # run would gate on the differential, not on a regression).
+        sys.exit(f"regress mode wants same-mode inputs: {ma!r} vs {mb!r}")
+    print(f"A = {args.file_a} (baseline), B = {args.file_b} (fresh run)")
+    report_drift(a, b)
+    cols = numeric_columns(a, b, args.metric)
+    if not cols:
+        # Nothing shared to compare: the bench was restructured. That is
+        # snapshot drift, not a regression.
+        print(f"no shared numeric columns matching {args.metric!r}; "
+              "nothing to gate")
+        return 0
+    regressions = []
+    total = 0
+    for key, ra, rb in paired_rows(a, b):
+        for c in cols:
+            va, vb = ra[c], rb[c]
+            if va <= 0:
+                continue
+            total += 1
+            # Lower is better; ratio > 1 means the fresh run is slower
+            # than the committed snapshot.
+            ratio = vb / va
+            if ratio > 1 + args.tolerance:
+                regressions.append((key, c, va, vb, ratio))
+    print(f"regression check: {total} shared cells, "
+          f"{len(regressions)} beyond {args.tolerance:.0%}")
+    for key, c, va, vb, r in regressions:
+        print(f"  REGRESSION {key} {c}: baseline={va:.1f} "
+              f"fresh={vb:.1f} ({r:.2f}x)")
+    if total == 0:
+        print("no comparable cells; nothing to gate")
+        return 0
+    if regressions:
+        print("FAIL")
+        return 1
+    print("PASS")
+    return 0
+
+
 def main():
     p = argparse.ArgumentParser(description=__doc__.splitlines()[0])
-    p.add_argument("--mode", choices=["compare", "merge", "parity"],
+    p.add_argument("--mode", choices=["compare", "merge", "parity", "regress"],
                    default="compare")
     p.add_argument("file_a", help="baseline / relaxed-side JSON")
     p.add_argument("file_b", help="comparison / forced-side JSON")
     p.add_argument("--metric", default="ns/",
                    help="substring selecting the columns to compare")
     p.add_argument("--tolerance", type=float, default=0.15,
-                   help="parity: max tolerated A/B regression per cell")
+                   help="parity/regress: max tolerated per-cell slowdown")
     p.add_argument("--min-wins", type=int, default=1,
                    help="parity: required parity-or-better cell count")
     p.add_argument("--label-a", default=None, help="merge: series label for A")
@@ -177,6 +257,8 @@ def main():
         sys.exit(cmd_compare(args))
     if args.mode == "merge":
         sys.exit(cmd_merge(args))
+    if args.mode == "regress":
+        sys.exit(cmd_regress(args))
     sys.exit(cmd_parity(args))
 
 

@@ -22,6 +22,7 @@
 #include <optional>
 #include <thread>
 
+#include "check/schedule_fuzz.hpp"
 #include "support/cacheline.hpp"
 #include "support/codec.hpp"
 #include "support/rng.hpp"
@@ -81,13 +82,28 @@ class elimination_arena {
     enode *cur = slot.load(std::memory_order_acquire);
 
     if (cur != nullptr && packed_is_data(cur) != is_data) {
-      // Complementary party parked here: claim it. Only after winning the
-      // CAS may we touch the node (the owner's withdrawal now fails, so it
-      // stays blocked until our signal).
+      // Complementary party parked here: claim it.
+      //
+      // Withdraw-vs-claim audit. The peer's enode lives on its stack and
+      // the frame can be reused the instant the peer's withdrawal CAS
+      // succeeds, so the lifetime argument is:
+      //   1. Classification above used only the mode bit packed into the
+      //      *pointer value* -- no dereference before the claim CAS.
+      //   2. The claim CAS and the peer's withdraw CAS target the same
+      //      slot word with seq_cst strong CAS, so exactly one wins. If we
+      //      win, the peer's withdrawal fails and it enters its settle
+      //      loop: the frame stays live until got is published *and* the
+      //      park slot is signalled.
+      //   3. got.store precedes slot.signal(), and the peer re-checks
+      //      was_signalled() before returning, so signal() is provably the
+      //      last touch (a futex wake takes only the address, never the
+      //      node, into the kernel).
+      SSQ_INTERLEAVE("arena.claim.pre");
       if (slot.compare_exchange_strong(cur, nullptr,
                                        std::memory_order_seq_cst)) {
         enode *peer = unpack(cur);
         item_token theirs = peer->mine; // empty for a consumer node
+        SSQ_INTERLEAVE("arena.handoff");
         peer->got.store(is_data ? e : peer->self_marker(),
                         std::memory_order_seq_cst);
         peer->slot.signal(); // last touch of the counterpart's node
@@ -107,20 +123,38 @@ class elimination_arena {
     auto r = sync::spin_then_park(self.slot, done, [] { return true; }, pol,
                                   dl, nullptr);
     if (r != sync::park_slot::wait_result::woken) {
+      SSQ_INTERLEAVE("arena.withdraw");
       enode *expected = pack(&self, is_data);
       if (slot.compare_exchange_strong(expected, nullptr,
                                        std::memory_order_seq_cst))
         return empty_token; // withdrew cleanly
-      // A claimer won the race; its handoff completes imminently.
-      while (self.got.load(std::memory_order_seq_cst) == empty_token)
-        cpu_relax();
+      // A claimer won the race; its handoff completes imminently. The
+      // settle spins are bounded-then-yield: the claimer may be preempted
+      // between its CAS and got.store, and on a uniprocessor pure
+      // cpu_relax would burn the rest of our quantum before it runs.
+      settle([&] {
+        return self.got.load(std::memory_order_seq_cst) != empty_token;
+      });
     }
-    while (!self.slot.was_signalled()) cpu_relax(); // settle
+    // Do not let this frame die before the claimer's final touch.
+    settle([&] { return self.slot.was_signalled(); });
     item_token g = self.got.load(std::memory_order_seq_cst);
     return is_data ? e : g;
   }
 
  private:
+  // Wait out a claimer that already owns us: spin briefly, then yield so a
+  // preempted claimer can reach its store/signal.
+  template <typename Done>
+  static void settle(Done done) {
+    for (int spins = 0; !done(); ++spins) {
+      if (spins < 64)
+        cpu_relax();
+      else
+        std::this_thread::yield();
+    }
+  }
+
   std::size_t live_slots() const noexcept {
     // Scale the probed region with available parallelism; a uniprocessor
     // probes one slot.

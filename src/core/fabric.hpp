@@ -1,0 +1,567 @@
+// fabric<Q>: an N-lane sharded handoff fabric over any synchronous core.
+//
+// Every core in this library funnels all producers and consumers through a
+// single pair of index/head words -- the paper's own scalability ceiling
+// (§5 reaches for elimination precisely because of it). The fabric shards
+// the rendezvous point into N independent lanes (each a full core Q,
+// default segment_queue) and makes cross-lane coordination the rare case:
+//
+//   * d-choice lane selection (unfair mode): probe two random lanes for a
+//     camped counterpart (per-lane waiting counters, one cache line each);
+//     at <= 8 lanes the probe degenerates to a full sweep, since a few
+//     padded loads are cheaper than the camp quantum a d=2 miss costs.
+//     On a hit, rendezvous there with a non-blocking xfer. On a miss, camp
+//     on a per-thread *home lane* -- threads with the same home meet with
+//     no cross-lane traffic at all.
+//   * elimination between colliding lanes (unfair mode): a prober that saw
+//     a counterpart but lost the race detours through the shared
+//     elimination_arena for a few microseconds before camping -- two
+//     crossing threads cancel out without touching any lane's index words.
+//   * bulk waiter detachment (async producers): an async put that finds no
+//     camped consumer pushes its token onto the lane's spill stack with one
+//     CAS -- no cell traffic, no park/unpark. A consumer detaches the
+//     *entire* run with one exchange, drains it thread-locally (keeping the
+//     oldest), and publishes the remainder to a FIFO-ised stash that later
+//     consumers pop item-wise. One rendezvous's worth of coordination moves
+//     k items.
+//   * fair mode: per-lane FIFO plus round-robin pairing. The i-th producer
+//     and i-th consumer camp on lane i mod N (side-local FAA counters), so
+//     pairing is round-robin and each lane preserves its own FIFO order;
+//     elimination and the d-choice shortcut are disabled (both would
+//     reorder). Global FIFO is deliberately given up -- the relaxed
+//     multi-lane spec (per-lane FIFO, global exchange symmetry, no lost
+//     pairings) is pinned by the oracle's fifo_lanes rule, not implied.
+//
+// Liveness without a global rendezvous word: every blocking operation camps
+// in bounded quanta (exponential 200us -> 3.2ms, jittered to break phase
+// lock between two parties circling each other), and from the second round
+// on the probe scans *all* lanes. Two parties camped in different lanes
+// therefore find each other within one quantum; a spilled async item is
+// found by the first consumer round that checks the bulk stash (every round
+// does, before camping). Cancellation (deadline/interrupt) is checked at
+// every round boundary, and the underlying lane op itself honours the
+// caller's deadline when it is tighter than the camp quantum.
+//
+// Lane attribution: every completed transfer records its pairing lane in
+// ssq::tl_last_lane (core/lane.hpp) -- elimination and bulk deliveries
+// record the FIFO-exempt sentinels -- which is what lets the oracle check
+// the relaxed spec instead of trusting it.
+//
+// Memory-order edges in this file (docs/memory_model.md):
+//   fab.spill   spill-push CAS releases the pushed node's item/next words;
+//               acquired by the consumer's detach exchange.
+//   fab.stash   stash-prepend CAS releases the re-linked run; the acquire
+//               end is the popper's hazard protect on the stash head
+//               (memory/reclaim.hpp -- seq_cst by protocol), so the label
+//               is release-only in this file.
+// The stash pop CAS stays seq_cst: it is the unlink side of the
+// protect-validate Dekker with the hazard scan, same as every structure
+// CAS in the tree. ABA on the stash is structurally impossible: a node
+// enters the stash exactly once (from a detached spill run), is retired on
+// pop, and the popper's continuous hazard from protect to CAS blocks the
+// free that any address reuse would require.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "check/schedule_fuzz.hpp"
+#include "core/elimination_arena.hpp"
+#include "core/lane.hpp"
+#include "core/segment_queue.hpp"
+#include "core/wait_kind.hpp"
+#include "memory/reclaim.hpp"
+#include "support/annotations.hpp"
+#include "support/cacheline.hpp"
+#include "support/codec.hpp"
+#include "support/rng.hpp"
+#include "support/time.hpp"
+#include "sync/interrupt.hpp"
+#include "sync/spin_policy.hpp"
+
+namespace ssq {
+
+// Lane-count policy, exposed through the facade (synchronous_queue /
+// channel constructors taking a fabric_config).
+struct fabric_config {
+  // 0 = auto: min(hardware_concurrency, 8), at least 1.
+  std::size_t lanes = 0;
+  // Fair: per-lane FIFO + round-robin pairing (no elimination, no d-choice
+  // shortcut). Unfair: d-choice + home-lane camping + elimination.
+  bool fair = false;
+};
+
+template <typename Q = segment_queue<>,
+          typename Reclaimer = mem::pooled_hp_reclaimer>
+class fabric {
+ public:
+  static constexpr bool lane_attributed = true;
+
+  explicit fabric(sync::spin_policy pol = sync::spin_policy::adaptive(),
+                  Reclaimer rec = Reclaimer{})
+      : fabric(fabric_config{}, pol, std::move(rec)) {}
+
+  explicit fabric(fabric_config cfg,
+                  sync::spin_policy pol = sync::spin_policy::adaptive(),
+                  Reclaimer rec = Reclaimer{})
+      : rec_(std::move(rec)), pol_(pol), fair_(cfg.fair),
+        nlanes_(resolve_lanes(cfg.lanes)),
+        lane_mask_((nlanes_ & (nlanes_ - 1)) == 0
+                       ? static_cast<std::uint32_t>(nlanes_ - 1)
+                       : no_lane) {
+    lanes_.reserve(nlanes_);
+    for (std::size_t i = 0; i < nlanes_; ++i)
+      lanes_.push_back(std::make_unique<lane_t>(pol_, rec_));
+  }
+
+  ~fabric() {
+    // Single-threaded teardown: unconsumed spilled tokens go to the
+    // disposer, exactly like a lane queue's own leftover async cells.
+    for (auto &lp : lanes_) {
+      drain_list(lp->spill.value.load(std::memory_order_relaxed));
+      drain_list(lp->detached.value.load(std::memory_order_relaxed));
+    }
+  }
+
+  fabric(const fabric &) = delete;
+  fabric &operator=(const fabric &) = delete;
+
+  void set_token_disposer(void (*d)(item_token)) noexcept {
+    disposer_ = d;
+    for (auto &lp : lanes_) lp->q.set_token_disposer(d);
+  }
+
+  // The unified transfer operation; contract identical to
+  // segment_queue::xfer (the facade drives all cores through it).
+  item_token xfer(item_token e, bool is_data, wait_kind wk,
+                  deadline dl = deadline::unbounded(),
+                  sync::interrupt_token *tok = nullptr) {
+    SSQ_ASSERT(is_data == (e != empty_token), "token/mode mismatch");
+    SSQ_ASSERT(is_data || wk != wait_kind::async, "async take is meaningless");
+    tl_last_lane = lane_unattributed;
+    if (wk == wait_kind::async) return xfer_async(e);
+    if (wk == wait_kind::now) return xfer_now(e, is_data);
+    return xfer_blocking(e, is_data, wk, dl, tok);
+  }
+
+  // ---------------------------------------------------------- observers
+  // Racy snapshots by contract (facade docs), exact at quiescence.
+
+  bool is_empty() const noexcept {
+    SSQ_MO_JUSTIFIED("relaxed: racy observer by contract");
+    if (spilled_.value.load(SSQ_MO(relaxed)) > 0) return false;
+    for (auto &lp : lanes_)
+      if (!lp->q.is_empty()) return false;
+    return true;
+  }
+
+  std::size_t unsafe_length() const noexcept {
+    SSQ_MO_JUSTIFIED("relaxed: racy observer by contract");
+    std::int64_t n = spilled_.value.load(SSQ_MO(relaxed));
+    std::size_t total = n > 0 ? static_cast<std::size_t>(n) : 0;
+    for (auto &lp : lanes_) total += lp->q.unsafe_length();
+    return total;
+  }
+
+  std::size_t lane_count() const noexcept { return nlanes_; }
+  bool fair() const noexcept { return fair_; }
+  Reclaimer &reclaimer() noexcept { return rec_; }
+  Q &lane_queue(std::size_t i) noexcept { return lanes_[i]->q; }
+
+ private:
+  // Spill/stash list node. Trivially destructible so it can recycle through
+  // the pooled-alloc seam (memory/node_pool.hpp).
+  struct fab_node {
+    std::atomic<fab_node *> next{nullptr};
+    item_token item{empty_token};
+  };
+  static_assert(std::is_trivially_destructible_v<fab_node>);
+
+  struct lane_t {
+    lane_t(sync::spin_policy pol, Reclaimer rec) : q(pol, std::move(rec)) {}
+    Q q;
+    // Async producers' overflow (Treiber; newest first).
+    padded_atomic<fab_node *> spill;
+    // Bulk-detached spill runs, FIFO-ised; popped item-wise under hazard.
+    SSQ_GUARDED_BY_HAZARD(rec_)
+    padded_atomic<fab_node *> detached;
+    // Camped-waiter counts, one per side: the d-choice probe's only read.
+    padded_atomic<std::uint32_t> wait_prod;
+    padded_atomic<std::uint32_t> wait_cons;
+  };
+
+  static constexpr std::uint32_t no_lane = 0xFFFFFFFFu;
+  // Probe width at or below which a round-0 probe sweeps every lane
+  // instead of sampling two (see probe()).
+  static constexpr std::size_t full_scan_lanes = 8;
+  static constexpr nanoseconds camp_quantum_min = std::chrono::microseconds(50);
+  static constexpr nanoseconds camp_quantum_max =
+      std::chrono::microseconds(3200);
+  static constexpr nanoseconds elim_patience = std::chrono::microseconds(5);
+
+  static std::size_t resolve_lanes(std::size_t requested) noexcept {
+    if (requested > 0) return requested;
+    unsigned hw = std::thread::hardware_concurrency();
+    std::size_t want = hw ? hw : 1;
+    return want < 8 ? want : 8;
+  }
+
+  // Home lane: a process-wide thread ordinal (FAA'd once per thread) taken
+  // mod the lane count, so distinct threads spread across lanes and a
+  // thread keeps returning to the same lane (warm cache, instant pairing
+  // with same-home counterparts).
+  std::uint32_t home_lane() const noexcept {
+    static std::atomic<std::uint64_t> next_ordinal{0};
+    SSQ_MO_JUSTIFIED("relaxed: the ordinal only needs uniqueness, which the "
+                     "RMW's atomicity alone provides");
+    thread_local const std::uint64_t ordinal =
+        next_ordinal.fetch_add(1, SSQ_MO(relaxed));
+    return lane_index(ordinal);
+  }
+
+  // i mod nlanes_ without a division when the lane count is a power of two
+  // (home_lane and the fair round-robin rank sit on every op's hot path).
+  std::uint32_t lane_index(std::uint64_t i) const noexcept {
+    if (lane_mask_ != no_lane)
+      return static_cast<std::uint32_t>(i) & lane_mask_;
+    return static_cast<std::uint32_t>(i % nlanes_);
+  }
+
+  // h + k with both already < nlanes_: conditional subtract, not a div.
+  std::size_t wrap(std::size_t i) const noexcept {
+    return i >= nlanes_ ? i - nlanes_ : i;
+  }
+
+  static xoshiro256 &tl_rng() noexcept {
+    thread_local xoshiro256 rng{0x9e3779b97f4a7c15ULL ^
+                                reinterpret_cast<std::uintptr_t>(&rng)};
+    return rng;
+  }
+
+  bool counterpart_camped(std::size_t i, bool is_data) const noexcept {
+    auto &L = *lanes_[i];
+    // seq_cst: the camp counters form a store-load Dekker with the probe
+    // ("I am camped" vs "is anyone camped?"), same shape as the segment
+    // queue's counterpart_waiting counters.
+    return (is_data ? L.wait_cons : L.wait_prod)
+               .value.load(std::memory_order_seq_cst) > 0;
+  }
+
+  // ------------------------------------------------------------- async
+  // Async put: deliver to a camped consumer if one is visible (d-choice
+  // probe over home + one random lane), else spill -- one CAS, no cell.
+  item_token xfer_async(item_token e) {
+    const std::uint32_t h = home_lane();
+    if (lanes_[h]->q.xfer(e, true, wait_kind::now) != empty_token) {
+      tl_last_lane = h;
+      return e;
+    }
+    if (nlanes_ > 1) {
+      auto &rng = tl_rng();
+      const std::uint32_t p = static_cast<std::uint32_t>(
+          wrap(h + 1 + rng.below(nlanes_ - 1)));
+      if (counterpart_camped(p, true) &&
+          lanes_[p]->q.xfer(e, true, wait_kind::now) != empty_token) {
+        tl_last_lane = p;
+        return e;
+      }
+    }
+    spill_push(*lanes_[h], e);
+    tl_last_lane = lane_bulk;
+    return e;
+  }
+
+  // --------------------------------------------------------------- now
+  // A now-op must observe any already-waiting counterpart regardless of
+  // lane, so it scans all lanes (from home, for same-home fast hits).
+  // Consumers check the bulk stash first: spilled items are "already
+  // waiting" in the strongest sense.
+  item_token xfer_now(item_token e, bool is_data) {
+    const std::uint32_t h = home_lane();
+    if (!is_data) {
+      for (std::size_t k = 0; k < nlanes_; ++k) {
+        item_token b = bulk_pop(*lanes_[wrap(h + k)]);
+        if (b != empty_token) return b; // tl_last_lane = lane_bulk
+      }
+    }
+    for (std::size_t k = 0; k < nlanes_; ++k) {
+      const std::size_t i = wrap(h + k);
+      item_token r = lanes_[i]->q.xfer(e, is_data, wait_kind::now);
+      if (r != empty_token) {
+        tl_last_lane = static_cast<std::uint32_t>(i);
+        return r;
+      }
+    }
+    return empty_token;
+  }
+
+  // ---------------------------------------------------------- blocking
+  item_token xfer_blocking(item_token e, bool is_data, wait_kind wk,
+                           deadline dl, sync::interrupt_token *tok) {
+    auto &rng = tl_rng();
+    nanoseconds quantum = camp_quantum_min;
+    for (unsigned round = 0;; ++round) {
+      if (tok && tok->interrupted()) return empty_token;
+      if (wk == wait_kind::timed && dl.expired_now()) return empty_token;
+
+      // Consumers sweep the bulk stash before anything else: a spilled
+      // item pairs with zero coordination. Round 0 checks the home lane
+      // only; later rounds sweep all lanes (liveness for skewed homes).
+      if (!is_data) {
+        const std::uint32_t h = home_lane();
+        const std::size_t span = round == 0 ? 1 : nlanes_;
+        for (std::size_t k = 0; k < span; ++k) {
+          item_token b = bulk_pop(*lanes_[wrap(h + k)]);
+          if (b != empty_token) return b;
+        }
+      }
+
+      // Probe for a camped counterpart; rendezvous there without waiting.
+      const std::uint32_t hit = probe(is_data, round, rng);
+      if (hit != no_lane) {
+        SSQ_INTERLEAVE("fab.probe.hit");
+        item_token r = lanes_[hit]->q.xfer(e, is_data, wait_kind::now);
+        if (r != empty_token) {
+          tl_last_lane = hit;
+          return r;
+        }
+        // Saw a counterpart but lost it to a faster thread: classic
+        // crossing collision -- the elimination arena's home turf. Fair
+        // mode skips it (an eliminated pair would jump the lane FIFO).
+        // The detour's patience follows the spin policy: under a no-spin
+        // policy (the paper's uniprocessor rule) a camped arena slot can
+        // only be claimed after a context switch -- the very cost
+        // elimination is meant to avoid -- so the visit degrades to a
+        // claim-or-leave pass with zero lingering.
+        if (!fair_) {
+          const deadline e_dl = pol_.front_spins != 0
+                                    ? deadline::in(elim_patience)
+                                    : deadline::in(nanoseconds{0});
+          r = arena_.try_eliminate(e, is_data, e_dl, pol_);
+          if (r != empty_token) {
+            tl_last_lane = lane_elim;
+            return r;
+          }
+        }
+      }
+
+      // Camp: become a visible waiter on one lane for a bounded quantum.
+      const std::uint32_t c = camp_lane(is_data, round, rng);
+      lane_t &L = *lanes_[c];
+      auto &ctr = (is_data ? L.wait_prod : L.wait_cons).value;
+      // seq_cst: probe-side Dekker (see counterpart_camped).
+      ctr.fetch_add(1, std::memory_order_seq_cst);
+      SSQ_INTERLEAVE("fab.camp");
+      deadline q_dl = camp_deadline(quantum, dl, wk, rng);
+      item_token r = L.q.xfer(e, is_data, wait_kind::timed, q_dl, tok);
+      ctr.fetch_sub(1, std::memory_order_seq_cst);
+      if (r != empty_token) {
+        tl_last_lane = c;
+        return r;
+      }
+      if (quantum < camp_quantum_max) quantum *= 2;
+    }
+  }
+
+  // One probe round. Unfair round 0 on a wide fabric is the two-random-lane
+  // d-choice; at <= full_scan_lanes lanes the probe degenerates to a full
+  // sweep -- a handful of padded-counter loads costs nanoseconds, while a
+  // d=2 miss against a validly camped counterpart costs a whole camp
+  // quantum (a miss is 1-(1-1/N)^2 likely even with one camper, ruinous at
+  // small N). Fair mode and every later round also scan all lanes, so two
+  // parties camped in different lanes cannot miss each other twice.
+  std::uint32_t probe(bool is_data, unsigned round, xoshiro256 &rng) const {
+    if (nlanes_ == 1)
+      return counterpart_camped(0, is_data) ? 0 : no_lane;
+    if (!fair_ && round == 0 && nlanes_ > full_scan_lanes) {
+      // Two lane picks from one rng draw via multiply-shift (no division;
+      // the bias at 32-bit range over <=2^32 lanes is immaterial here).
+      const std::uint64_t r = rng.next();
+      const std::uint32_t a = static_cast<std::uint32_t>(
+          ((r & 0xffffffffu) * nlanes_) >> 32);
+      const std::uint32_t b =
+          static_cast<std::uint32_t>(((r >> 32) * nlanes_) >> 32);
+      if (counterpart_camped(a, is_data)) return a;
+      if (b != a && counterpart_camped(b, is_data)) return b;
+      return no_lane;
+    }
+    const std::uint32_t start =
+        round == 0 ? home_lane()
+                   : static_cast<std::uint32_t>(rng.below(nlanes_));
+    for (std::size_t k = 0; k < nlanes_; ++k) {
+      const std::uint32_t i = static_cast<std::uint32_t>(wrap(start + k));
+      if (counterpart_camped(i, is_data)) return i;
+    }
+    return no_lane;
+  }
+
+  // Where to camp this round. Fair mode: side-local round-robin FAA --
+  // the i-th producer and i-th consumer meet on lane i mod N. A fresh
+  // rank per round (rather than a sticky assignment) plus the full-scan
+  // probe is what breaks the misalignment a cancelled op leaves behind.
+  // Unfair mode: home first, random later rounds.
+  std::uint32_t camp_lane(bool is_data, unsigned round, xoshiro256 &rng) {
+    if (nlanes_ == 1) return 0;
+    if (fair_) {
+      auto &rr = (is_data ? rr_prod_ : rr_cons_).value;
+      SSQ_MO_JUSTIFIED("relaxed: the rank only picks a lane; pairing order "
+                       "within the lane is the lane queue's FIFO ticket");
+      return lane_index(rr.fetch_add(1, SSQ_MO(relaxed)));
+    }
+    if (round == 0) return home_lane();
+    return static_cast<std::uint32_t>(rng.below(nlanes_));
+  }
+
+  // Bounded, jittered camp quantum, clamped to the caller's own deadline.
+  // The +/-25% jitter keeps two parties' re-probe schedules from locking
+  // into the same phase and circling each other forever.
+  deadline camp_deadline(nanoseconds quantum, deadline dl, wait_kind wk,
+                         xoshiro256 &rng) const {
+    const std::int64_t q = quantum.count();
+    const nanoseconds jittered{q - q / 4 +
+                               static_cast<std::int64_t>(
+                                   rng.below(static_cast<std::uint64_t>(
+                                       q / 2 > 0 ? q / 2 : 1)))};
+    deadline q_dl = deadline::in(jittered);
+    if (wk == wait_kind::timed && dl.when() < q_dl.when()) return dl;
+    return q_dl;
+  }
+
+  // --------------------------------------------------- spill / detach
+  void spill_push(lane_t &L, item_token e) {
+    fab_node *n = rec_.template create<fab_node>();
+    n->item = e;
+    SSQ_MO_JUSTIFIED("relaxed: first read of the head; the CAS below "
+                     "re-reads with acquire on failure");
+    fab_node *old = L.spill.value.load(SSQ_MO(relaxed));
+    for (;;) {
+      SSQ_MO_JUSTIFIED("relaxed: published by the fab.spill release CAS");
+      n->next.store(old, SSQ_MO(relaxed));
+      SSQ_INTERLEAVE("fab.spill.push");
+      SSQ_MO_RELEASE_EDGE("fab.spill");
+      if (L.spill.value.compare_exchange_weak(old, n, SSQ_MO(acq_rel)))
+        break;
+    }
+    SSQ_MO_JUSTIFIED("relaxed: live-count feeds racy observers only");
+    spilled_.value.fetch_add(1, SSQ_MO(relaxed));
+  }
+
+  // Take one bulk item from lane L, if any: stash first (item-wise hazard
+  // pop), then detach the whole spill run in one exchange. Sets
+  // tl_last_lane = lane_bulk on success.
+  item_token bulk_pop(lane_t &L) {
+    item_token it = stash_pop(L);
+    if (it != empty_token) return it;
+
+    // seq_cst empty check (Dekker with spill_push, as above): the consumer
+    // camp loop calls this every round, and an unconditional exchange would
+    // put an RMW on the shared spill line in the common no-spill case.
+    if (L.spill.value.load(std::memory_order_seq_cst) == nullptr)
+      return empty_token;
+    SSQ_MO_ACQUIRE_EDGE("fab.spill");
+    fab_node *run = L.spill.value.exchange(nullptr, SSQ_MO(acq_rel));
+    if (run == nullptr) return empty_token;
+    SSQ_INTERLEAVE("fab.detach");
+    // The run is exclusively ours now. Reverse it (spill is LIFO, the
+    // stash is FIFO: oldest must come out first), keep the oldest,
+    // publish the rest.
+    fab_node *rev = nullptr;
+    while (run != nullptr) {
+      SSQ_MO_JUSTIFIED("relaxed: the detach exchange above acquired the "
+                       "whole run; no concurrent writer remains");
+      fab_node *nx = run->next.load(SSQ_MO(relaxed));
+      SSQ_MO_JUSTIFIED("relaxed: re-published by the fab.stash release CAS");
+      run->next.store(rev, SSQ_MO(relaxed));
+      rev = run;
+      run = nx;
+    }
+    it = rev->item;
+    SSQ_MO_JUSTIFIED("relaxed: rev was just relinked by this thread");
+    fab_node *rest = rev->next.load(SSQ_MO(relaxed));
+    // The head never reached the stash: no other thread can hold a
+    // reference, so destroy (not retire) is safe.
+    rec_.destroy(rev);
+    if (rest != nullptr) stash_prepend(L, rest);
+    SSQ_MO_JUSTIFIED("relaxed: live-count feeds racy observers only");
+    spilled_.value.fetch_sub(1, SSQ_MO(relaxed));
+    tl_last_lane = lane_bulk;
+    return it;
+  }
+
+  void stash_prepend(lane_t &L, fab_node *first) {
+    fab_node *tail = first;
+    SSQ_MO_JUSTIFIED("relaxed: still exclusively owned (see bulk_pop)");
+    while (fab_node *nx = tail->next.load(SSQ_MO(relaxed))) tail = nx;
+    SSQ_MO_JUSTIFIED("relaxed: first read of the head; the CAS below "
+                     "re-reads with acquire on failure");
+    fab_node *d = L.detached.value.load(SSQ_MO(relaxed));
+    for (;;) {
+      SSQ_MO_JUSTIFIED("relaxed: published by the fab.stash release CAS");
+      tail->next.store(d, SSQ_MO(relaxed));
+      SSQ_INTERLEAVE("fab.stash.prepend");
+      SSQ_MO_RELEASE_EDGE("fab.stash");
+      if (L.detached.value.compare_exchange_weak(d, first, SSQ_MO(acq_rel)))
+        break;
+    }
+  }
+
+  item_token stash_pop(lane_t &L) {
+    // seq_cst empty check: keeps the "already waiting" store-load Dekker
+    // with stash_prepend while skipping the hazard-slot acquisition (a
+    // domain-slot scan) in the common empty case. A non-null head is
+    // re-read under the protect below before any deref.
+    if (L.detached.value.load(std::memory_order_seq_cst) == nullptr)
+      return empty_token;
+    typename Reclaimer::slot hz(rec_);
+    for (;;) {
+      fab_node *h = hz.protect(L.detached.value);
+      if (h == nullptr) return empty_token;
+      SSQ_INTERLEAVE("fab.stash.pop");
+      SSQ_MO_JUSTIFIED("acquire: the protect on the stash head acquired "
+                       "the fab.stash release CAS that published h; "
+                       "acquire here orders a concurrent prepend's link");
+      fab_node *nx = h->next.load(SSQ_MO(acquire));
+      // seq_cst: the unlink side of the protect-validate Dekker with the
+      // hazard scan (same argument as every structure CAS in the tree).
+      if (L.detached.value.compare_exchange_strong(
+              h, nx, std::memory_order_seq_cst)) {
+        item_token it = h->item;
+        rec_.retire(h);
+        SSQ_MO_JUSTIFIED("relaxed: live-count feeds racy observers only");
+        spilled_.value.fetch_sub(1, SSQ_MO(relaxed));
+        tl_last_lane = lane_bulk;
+        return it;
+      }
+      // Lost the pop race; h may be gone -- re-protect from the head.
+    }
+  }
+
+  void drain_list(fab_node *n) {
+    while (n != nullptr) {
+      SSQ_MO_JUSTIFIED("relaxed: single-threaded teardown (destructor)");
+      fab_node *nx = n->next.load(SSQ_MO(relaxed));
+      if (disposer_ && n->item != empty_token) disposer_(n->item);
+      rec_.destroy(n);
+      n = nx;
+    }
+  }
+
+  Reclaimer rec_;
+  sync::spin_policy pol_;
+  void (*disposer_)(item_token) = nullptr;
+  const bool fair_;
+  const std::size_t nlanes_;
+  // nlanes_-1 when nlanes_ is a power of two, else no_lane (see lane_index).
+  const std::uint32_t lane_mask_;
+  std::vector<std::unique_ptr<lane_t>> lanes_;
+  elimination_arena<16> arena_;
+  // Fair-mode round-robin ranks, one per side.
+  padded_atomic<std::uint64_t> rr_prod_;
+  padded_atomic<std::uint64_t> rr_cons_;
+  // Spilled-but-unconsumed item count; observers only.
+  padded_atomic<std::int64_t> spilled_;
+};
+
+} // namespace ssq

@@ -1,0 +1,34 @@
+// Lane attribution for sharded (multi-lane) structures.
+//
+// The linearizability oracle (check/oracle.hpp) checks FIFO *per lane* for
+// fabric-style cores: global FIFO is deliberately given up when the
+// rendezvous point is sharded, and the relaxed spec needs to know which
+// lane paired each operation. Cores that know their pairing lane publish it
+// here, thread-locally, immediately before returning from xfer(); the
+// checked-ops wrappers (check/driver.hpp) read it into the history event.
+//
+// Two pairing mechanisms bypass lanes entirely and are exempt from the
+// per-lane FIFO check (they are still covered by exact-pairing and exchange
+// symmetry): elimination-arena handoffs and bulk-detached spill items.
+#pragma once
+
+#include <cstdint>
+
+namespace ssq {
+
+// No lane recorded (single-lane cores, or an op that missed/cancelled).
+inline constexpr std::uint32_t lane_unattributed = 0xFFFFFFFFu;
+// Paired through an elimination arena, not a lane queue (FIFO-exempt).
+inline constexpr std::uint32_t lane_elim = 0xFFFFFFFEu;
+// Delivered via the bulk spill/detach path (FIFO-exempt).
+inline constexpr std::uint32_t lane_bulk = 0xFFFFFFFDu;
+
+// Smallest sentinel: real lane indices must stay below this.
+inline constexpr std::uint32_t lane_sentinel_min = lane_bulk;
+
+// Set by lane-attributed cores on every completed transfer; consumed by the
+// checked-ops wrappers. Plain thread-local (no synchronization needed: it is
+// written and read by the same thread within one operation).
+inline thread_local std::uint32_t tl_last_lane = lane_unattributed;
+
+} // namespace ssq

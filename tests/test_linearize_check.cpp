@@ -13,6 +13,7 @@
 #include "baselines/naive_sq.hpp"
 #include "check/driver.hpp"
 #include "check/oracle.hpp"
+#include "check/schedule_fuzz.hpp"
 #include "core/channel.hpp"
 #include "core/eliminating_sq.hpp"
 #include "core/exchanger.hpp"
@@ -43,7 +44,10 @@ void expect_clean_run(std::shared_ptr<Q> q, bool fair, std::uint64_t seed,
   driver_stats st;
   run_mixed(ops, cfg, rec, &st);
   rules r;
-  r.fifo = fair;
+  // Lane-attributed impls promise FIFO per pairing lane, not globally
+  // (check/oracle.hpp P4').
+  r.fifo = fair && !ops.lanes;
+  r.fifo_lanes = fair && ops.lanes;
   report rep = check_history(rec.collect(), r);
   EXPECT_TRUE(rep.ok()) << summarize(rep);
   EXPECT_GT(rep.pairs, 0u) << "workload transferred nothing";
@@ -116,6 +120,75 @@ TEST(LinearizeCheck, Naive) {
 TEST(LinearizeCheck, Eliminating) {
   expect_clean_run(std::make_shared<eliminating_sq<std::uint64_t>>(), false,
                    108);
+}
+
+// The fair flavor: elimination handoffs may overtake the FIFO dual queue,
+// so the relaxed per-lane rule (core pairings = lane 0, arena = exempt)
+// is what keeps this checkable at all.
+TEST(LinearizeCheck, EliminatingFair) {
+  expect_clean_run(std::make_shared<fair_eliminating_sq<std::uint64_t>>(),
+                   true, 116);
+}
+
+// ------------------------------------------------------------------ fabric
+
+// Multi-lane fabric, fair mode: FIFO per lane + round-robin pairing; the
+// async workload slice drives the spill/bulk-detach path (lane_bulk pairs).
+TEST(LinearizeCheck, FabricFairFourLanes) {
+  expect_clean_run(
+      std::make_shared<fair_fabric_synchronous_queue<std::uint64_t>>(
+          fabric_config{4}),
+      true, 117);
+}
+
+TEST(LinearizeCheck, FabricUnfairFourLanes) {
+  expect_clean_run(
+      std::make_shared<fabric_synchronous_queue<std::uint64_t>>(
+          fabric_config{4}),
+      false, 118);
+}
+
+// Degenerate lane count: a 1-lane fair fabric must satisfy the per-lane
+// spec trivially (every non-exempt pairing on lane 0).
+TEST(LinearizeCheck, FabricFairSingleLane) {
+  expect_clean_run(
+      std::make_shared<fair_fabric_synchronous_queue<std::uint64_t>>(
+          fabric_config{1}),
+      true, 119);
+}
+
+// ------------------------------------------- elimination arena regression
+//
+// Satellite of the withdraw-vs-claim audit (core/elimination_arena.hpp):
+// seeded schedule perturbation around arena.claim.pre / arena.handoff /
+// arena.withdraw widens the window where a claimer has won the slot CAS
+// but not yet published `got`, while the owner is timing out. The audit's
+// conclusion (no unprotected deref: classification never touches the node,
+// the settle loops keep the frame alive) is pinned by running the checked
+// workload with near-arena-sized patience under several seeds. Without
+// SSQ_SCHEDULE_FUZZ compiled in the perturbation points are no-ops and
+// this degrades to a plain stress run -- still a valid regression test.
+TEST(LinearizeCheck, EliminationArenaWithdrawClaimFuzz) {
+  for (std::uint64_t seed : {1201ull, 1202ull, 1203ull}) {
+#if defined(SSQ_SCHEDULE_FUZZ)
+    fuzz::config fc;
+    fc.seed = seed;
+    fuzz::enable(fc);
+#endif
+    auto q = std::make_shared<eliminating_sq<std::uint64_t>>(
+        std::chrono::microseconds(50));
+    checked_ops ops = make_checked_ops(q, false);
+    driver_cfg cfg = small_cfg(seed);
+    cfg.max_patience_us = 100; // timed ops expire inside the arena window
+    recorder rec(static_cast<std::size_t>(cfg.threads) + 1,
+                 cfg.max_ops_per_thread);
+    run_mixed(ops, cfg, rec);
+    report rep = check_history(rec.collect(), rules{});
+    EXPECT_TRUE(rep.ok()) << "seed " << seed << "\n" << summarize(rep);
+#if defined(SSQ_SCHEDULE_FUZZ)
+    fuzz::disable();
+#endif
+  }
 }
 
 // ----------------------------------------------- ltq / channel / exchanger
